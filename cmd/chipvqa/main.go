@@ -1,0 +1,458 @@
+// Command chipvqa regenerates every table and figure of the ChipVQA
+// paper from the reproduction:
+//
+//	chipvqa stats              Table I benchmark statistics
+//	chipvqa stats -coverage    Fig. 1/3 discipline x visual coverage
+//	chipvqa eval               Table II, standard collection
+//	chipvqa challenge          Table II, challenge collection
+//	chipvqa eval -gap          per-model MC vs SA gap (§IV-A RAG effect)
+//	chipvqa agent              Table III agent study
+//	chipvqa resolution         §IV-B image resolution study
+//	chipvqa export -o FILE     benchmark as JSON
+//	chipvqa render -dir DIR    rasterise every question to PNG
+//	chipvqa ask -model M -q ID one model on one question (with transcript)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/agent"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/vlm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "stats":
+		err = cmdStats(args)
+	case "eval":
+		err = cmdEval(args)
+	case "challenge":
+		err = cmdChallenge(args)
+	case "agent":
+		err = cmdAgent(args)
+	case "resolution":
+		err = cmdResolution(args)
+	case "export":
+		err = cmdExport(args)
+	case "render":
+		err = cmdRender(args)
+	case "ask":
+		err = cmdAsk(args)
+	case "extended":
+		err = cmdExtended(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "items":
+		err = cmdItems(args)
+	case "finetune":
+		err = cmdFineTune(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "chipvqa: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chipvqa:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: chipvqa <command> [flags]
+
+commands:
+  stats        Table I statistics (-coverage for the Fig. 1/3 matrix)
+  eval         Table II zero-shot evaluation, standard collection (-gap for MC/SA gaps)
+  challenge    Table II challenge collection (multiple choice removed)
+  agent        Table III agent study
+  resolution   image-resolution study of §IV-B (-model, -category)
+  export       write the benchmark as JSON (-o file)
+  render       rasterise question visuals to PNG (-dir out, -factor N)
+  ask          run one model on one question (-model, -q, -agent)
+  extended     generate an extended collection (-seed, -n per category, -o file)
+  compare      paired McNemar test + bootstrap CIs between two models (-a, -b)
+  finetune     domain-adaptation learning-curve study (-model)
+  items        per-question difficulty and discrimination analysis (-k, -challenge)`)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	coverage := fs.Bool("coverage", false, "print the category x visual-type coverage matrix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	if *coverage {
+		fmt.Print(dataset.FormatCoverage(suite.Benchmark.CoverageMatrix()))
+		return nil
+	}
+	fmt.Print(suite.FormatTableI())
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	gap := fs.Bool("gap", false, "print per-model MC-vs-SA gap instead of the full table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	with, without := suite.TableII()
+	if *gap {
+		fmt.Printf("%-20s %8s %8s %8s\n", "Model", "w/ MC", "w/o MC", "gap")
+		for i := range with {
+			w, n := with[i].Pass1(), without[i].Pass1()
+			fmt.Printf("%-20s %8.2f %8.2f %8.2f\n", with[i].ModelName, w, n, w-n)
+		}
+		return nil
+	}
+	fmt.Println("TABLE II  Zero-Shot Evaluation on ChipVQA (w/ and w/o multiple choice)")
+	fmt.Print(chipvqa.FormatTableII(with, without))
+	return nil
+}
+
+func cmdChallenge(args []string) error {
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	var reports []*chipvqa.Report
+	for _, name := range suite.ModelNames() {
+		rep, err := suite.EvaluateChallenge(name)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+	}
+	fmt.Println("ChipVQA challenge collection (all questions short answer)")
+	fmt.Print(chipvqa.FormatTableII(reports, nil))
+	return nil
+}
+
+func cmdAgent(args []string) error {
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	vals, err := suite.TableIII()
+	if err != nil {
+		return err
+	}
+	fmt.Println("TABLE III  Evaluation of Agent System on ChipVQA")
+	fmt.Printf("%-12s %-8s %8s\n", "Collection", "Model", "Pass@1")
+	fmt.Printf("%-12s %-8s %8.2f\n", "With Choice", "GPT4o", vals[0])
+	fmt.Printf("%-12s %-8s %8.2f\n", "", "Agent", vals[1])
+	fmt.Printf("%-12s %-8s %8.2f\n", "No Choice", "GPT4o", vals[2])
+	fmt.Printf("%-12s %-8s %8.2f\n", "", "Agent", vals[3])
+	return nil
+}
+
+func cmdResolution(args []string) error {
+	fs := flag.NewFlagSet("resolution", flag.ExitOnError)
+	model := fs.String("model", "GPT4o", "model to evaluate")
+	category := fs.String("category", "Digital", "category (short name) or 'all'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	m, err := suite.Model(*model)
+	if err != nil {
+		return err
+	}
+	questions := suite.Benchmark.Filter(func(q *chipvqa.Question) bool {
+		return *category == "all" || q.Category.Short() == *category
+	})
+	if len(questions) == 0 {
+		return fmt.Errorf("no questions in category %q", *category)
+	}
+	sub := &dataset.Benchmark{Name: *category, Questions: questions}
+	fmt.Printf("Resolution study (§IV-B): model=%s category=%s (%d questions)\n",
+		*model, *category, len(questions))
+	for _, f := range []int{1, 8, 16} {
+		r := eval.Runner{Opts: eval.InferenceOptions{DownsampleFactor: f}}
+		rep := r.Evaluate(m, sub)
+		fmt.Printf("  downsample %2dx: Pass@1 = %.2f\n", f, rep.Pass1())
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	out := fs.String("o", "chipvqa.json", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := suite.ExportJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d questions to %s\n", suite.Benchmark.Len(), *out)
+	return nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	dir := fs.String("dir", "renders", "output directory")
+	factor := fs.Int("factor", 1, "downsample factor (1, 8, 16)")
+	only := fs.String("q", "", "render only this question ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	count := 0
+	for _, q := range suite.Benchmark.Questions {
+		if *only != "" && q.ID != *only {
+			continue
+		}
+		img := chipvqa.RenderQuestion(q, *factor)
+		path := filepath.Join(*dir, fmt.Sprintf("%s.png", q.ID))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := png.Encode(f, img); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		count++
+	}
+	fmt.Printf("rendered %d images to %s (factor %dx)\n", count, *dir, *factor)
+	return nil
+}
+
+func cmdAsk(args []string) error {
+	fs := flag.NewFlagSet("ask", flag.ExitOnError)
+	model := fs.String("model", "GPT4o", "model name")
+	qid := fs.String("q", "d01", "question ID")
+	useAgent := fs.Bool("agent", false, "route through the agent system")
+	challenge := fs.Bool("challenge", false, "use the challenge (no-choice) variant")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	bench := suite.Benchmark
+	if *challenge {
+		bench = suite.ChallengeSet
+	}
+	var q *chipvqa.Question
+	for _, cand := range bench.Questions {
+		if cand.ID == *qid {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		return fmt.Errorf("unknown question %q", *qid)
+	}
+	fmt.Printf("question %s [%s, %s, visual: %s]\n%s\n\n",
+		q.ID, q.Category, q.Type, q.Visual.Kind, q.FormatPrompt())
+	var resp string
+	judge := eval.Judge{}
+	if *useAgent {
+		base, err := suite.Model(*model)
+		if err != nil {
+			return err
+		}
+		sim, ok := base.(*vlm.SimulatedVLM)
+		if !ok {
+			return fmt.Errorf("model %q cannot act as a vision tool", *model)
+		}
+		ag := agent.New(sim)
+		var transcript []agent.ToolCall
+		resp, transcript = ag.Run(q, eval.InferenceOptions{})
+		fmt.Print(agent.FormatTranscript(transcript))
+	} else {
+		m, err := suite.Model(*model)
+		if err != nil {
+			return err
+		}
+		resp = m.Answer(q, eval.InferenceOptions{})
+	}
+	fmt.Printf("\nmodel response: %s\n", resp)
+	fmt.Printf("judged correct: %v\n", judge.Correct(q, resp))
+	return nil
+}
+
+func cmdExtended(args []string) error {
+	fs := flag.NewFlagSet("extended", flag.ExitOnError)
+	seed := fs.String("seed", "fold-a", "fold seed; different seeds give disjoint collections")
+	n := fs.Int("n", 10, "questions per category")
+	out := fs.String("o", "", "optional JSON output file")
+	evalModels := fs.Bool("eval", false, "also evaluate all models on the extended collection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	ext, err := suite.Extended(*seed, *n)
+	if err != nil {
+		return err
+	}
+	stats := ext.ComputeStats()
+	fmt.Printf("extended collection %q: %d questions (%d MC / %d SA)\n",
+		ext.Name, stats.Total, stats.MC, stats.SA)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ext.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *evalModels {
+		var reports []*chipvqa.Report
+		r := eval.Runner{}
+		for _, name := range suite.ModelNames() {
+			m, err := suite.Model(name)
+			if err != nil {
+				return err
+			}
+			reports = append(reports, r.Evaluate(m, ext))
+		}
+		fmt.Print(chipvqa.FormatTableII(reports, nil))
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	a := fs.String("a", "GPT4o", "first model")
+	b := fs.String("b", "LLaMA-3.2-90B", "second model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	res, cis, err := suite.Compare(*a, *b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: Pass@1 %s\n", *a, cis[0])
+	fmt.Printf("%s: Pass@1 %s\n", *b, cis[1])
+	fmt.Printf("McNemar (paired, continuity-corrected): %s\n", res)
+	if res.Significant(0.05) {
+		fmt.Println("difference is significant at the 5% level")
+	} else {
+		fmt.Println("difference is NOT significant at the 5% level on 142 questions")
+	}
+	return nil
+}
+
+func cmdFineTune(args []string) error {
+	fs := flag.NewFlagSet("finetune", flag.ExitOnError)
+	model := fs.String("model", "LLaVA-7b", "base model to adapt")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	base, err := suite.Model(*model)
+	if err != nil {
+		return err
+	}
+	sim, ok := base.(*vlm.SimulatedVLM)
+	if !ok {
+		return fmt.Errorf("model %q cannot be fine-tuned", *model)
+	}
+	pool, err := suite.Extended("train-pool", 30)
+	if err != nil {
+		return err
+	}
+	test, err := suite.Extended("test-fold", 10)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("domain-adaptation study: base=%s, train pool=%d, held-out test=%d\n",
+		*model, pool.Len(), test.Len())
+	curve := vlm.LearningCurve(sim, pool, test, []int{0, 5, 10, 20, 30}, vlm.DefaultTraining())
+	for _, pt := range curve {
+		fmt.Printf("  train %2d/category: held-out Pass@1 = %.3f\n", pt.TrainPerCategory, pt.Pass1)
+	}
+	fmt.Println("(simulated adaptation; see DESIGN.md for the exposure model)")
+	return nil
+}
+
+func cmdItems(args []string) error {
+	fs := flag.NewFlagSet("items", flag.ExitOnError)
+	k := fs.Int("k", 10, "how many hardest items to list")
+	challenge := fs.Bool("challenge", false, "analyse the challenge collection instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	bench := suite.Benchmark
+	if *challenge {
+		bench = suite.ChallengeSet
+	}
+	r := eval.Runner{}
+	var reports []*chipvqa.Report
+	for _, name := range suite.ModelNames() {
+		m, err := suite.Model(name)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, r.Evaluate(m, bench))
+	}
+	items, err := eval.ItemAnalysis(reports)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatItemReport(items, *k))
+	return nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The command functions print to stdout; these tests only assert they
+// succeed on valid inputs and fail cleanly on invalid ones. The numeric
+// content they print is covered by the library test suites.
+
+func TestCmdStats(t *testing.T) {
+	if err := cmdStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-coverage"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdEvalGap(t *testing.T) {
+	if err := cmdEval([]string{"-gap"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdAgent(t *testing.T) {
+	if err := cmdAgent(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdResolution(t *testing.T) {
+	if err := cmdResolution([]string{"-model", "GPT4o", "-category", "Digital"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdResolution([]string{"-category", "NoSuchCategory"}); err == nil {
+		t.Error("bad category accepted")
+	}
+	if err := cmdResolution([]string{"-model", "NoSuchModel"}); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestCmdExportAndRender(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "bench.json")
+	if err := cmdExport([]string{"-o", jsonPath}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("export produced %v, %v", fi, err)
+	}
+	renderDir := filepath.Join(dir, "renders")
+	if err := cmdRender([]string{"-dir", renderDir, "-q", "d01"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(renderDir, "d01.png")); err != nil {
+		t.Fatalf("render missing: %v", err)
+	}
+	// Downsampled render.
+	if err := cmdRender([]string{"-dir", renderDir, "-q", "d01", "-factor", "16"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdAsk(t *testing.T) {
+	if err := cmdAsk([]string{"-model", "GPT4o", "-q", "m03"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAsk([]string{"-q", "d09", "-agent"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAsk([]string{"-q", "a01", "-challenge"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAsk([]string{"-q", "nope"}); err == nil {
+		t.Error("unknown question accepted")
+	}
+}
+
+func TestCmdExtended(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ext.json")
+	if err := cmdExtended([]string{"-seed", "cli-test", "-n", "3", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("extended export missing: %v", err)
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	if err := cmdCompare([]string{"-a", "GPT4o", "-b", "kosmos-2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCompare([]string{"-a", "ghost"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCmdFineTune(t *testing.T) {
+	if err := cmdFineTune([]string{"-model", "LLaVA-7b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFineTune([]string{"-model", "ghost"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestCmdChallenge(t *testing.T) {
+	if err := cmdChallenge(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdItems(t *testing.T) {
+	if err := cmdItems([]string{"-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdItems([]string{"-challenge", "-k", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

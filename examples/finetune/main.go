@@ -1,0 +1,74 @@
+// Finetune: the paper's future-work direction — "ChipVQA-oriented
+// dataset collection, VLM training and development, targeting a low-cost
+// yet effective open-source foundation model". Generates an extended
+// training pool, adapts the weakest LLaVA profile on nested folds, and
+// reports the held-out learning curve with bootstrap confidence
+// intervals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	chipvqa "repro"
+	"repro/internal/eval"
+	"repro/internal/vlm"
+)
+
+func main() {
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m, err := suite.Model("LLaVA-7b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := m.(*vlm.SimulatedVLM)
+
+	pool, err := suite.Extended("train-pool", 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := suite.Extended("test-fold", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training pool: %d questions, held-out test: %d questions\n\n",
+		pool.Len(), test.Len())
+
+	runner := eval.Runner{}
+	fmt.Println("learning curve (LLaVA-7b, simulated domain adaptation):")
+	for _, size := range []int{0, 5, 10, 20, 30} {
+		curve := vlm.LearningCurve(base, pool, test, []int{size}, vlm.DefaultTraining())
+		// Re-evaluate to get the full report for a CI.
+		tuned := vlm.FineTune(base, subset(pool, size), vlm.DefaultTraining())
+		rep := runner.Evaluate(tuned, test)
+		ci := rep.BootstrapCI(1000, 0.95)
+		fmt.Printf("  %2d train/category: held-out Pass@1 %s\n", curve[0].TrainPerCategory, ci)
+	}
+
+	fmt.Println("\nAdaptation saturates (exposure model 1-exp(-n/20)) and cannot")
+	fmt.Println("exceed the backbone's headroom — a low-cost tuned open model")
+	fmt.Println("narrows, but does not close, the gap to GPT-4o.")
+
+	gpt4o, err := suite.Evaluate("GPT4o")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreference: GPT-4o on the standard collection: %.2f\n", gpt4o.Pass1())
+}
+
+// subset takes the first n questions per category from the pool.
+func subset(pool *chipvqa.Benchmark, n int) *chipvqa.Benchmark {
+	out := &chipvqa.Benchmark{Name: fmt.Sprintf("train-%d", n)}
+	for _, qs := range pool.ByCategory() {
+		k := n
+		if k > len(qs) {
+			k = len(qs)
+		}
+		out.Questions = append(out.Questions, qs[:k]...)
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+)
+
+// FormatSI renders a value with an SI prefix and unit, e.g. 2200 Ohm ->
+// "2.2 kOhm", 0.004 S -> "4 mS". Values render with up to three
+// significant decimals, trimmed.
+func FormatSI(v float64, unit string) string {
+	if v == 0 {
+		return "0 " + unit
+	}
+	type prefix struct {
+		mult float64
+		sym  string
+	}
+	prefixes := []prefix{
+		{1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1, ""},
+		{1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	av := math.Abs(v)
+	for _, p := range prefixes {
+		if av >= p.mult*0.9999 {
+			return trimNum(v/p.mult) + " " + p.sym + unit
+		}
+	}
+	last := prefixes[len(prefixes)-1]
+	return trimNum(v/last.mult) + " " + last.sym + unit
+}
+
+// FormatPlain renders a value without SI scaling.
+func FormatPlain(v float64, unit string) string {
+	s := trimNum(v)
+	if unit == "" {
+		return s
+	}
+	return s + " " + unit
+}
+
+func trimNum(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// NumericDistractors builds three plausible wrong numeric options near
+// the golden value, formatted with the supplied renderer; the candidates
+// are the classic unit/sign/factor slips students make.
+func NumericDistractors(golden float64, format func(float64) string) [3]string {
+	goldenStr := format(golden)
+	cands := []float64{
+		golden * 2, golden / 2, -golden, golden * 10, golden / 10,
+		golden * 1.5, golden + 1, golden - 1, golden * 3,
+	}
+	var out [3]string
+	seen := map[string]bool{goldenStr: true}
+	i := 0
+	for _, c := range cands {
+		if i >= 3 {
+			break
+		}
+		s := format(c)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		out[i] = s
+		i++
+	}
+	// Exhausted candidates with duplicates (tiny goldens): fall back to
+	// offsets guaranteed distinct.
+	for ; i < 3; i++ {
+		out[i] = format(golden + float64(i+2))
+	}
+	return out
+}

@@ -1,0 +1,584 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/visual"
+)
+
+// Generate produces the 44 Analog Design questions (all multiple choice,
+// per §III-B2): 30 schematics, 5 Bode/curve plots, 5 block diagrams,
+// 1 equation, 1 equation sheet and 2 mixed figures. Golden answers come
+// from the MNA solver and the closed-form small-signal engines, which are
+// cross-checked against each other in the package tests.
+func Generate() []*dataset.Question {
+	var qs []*dataset.Question
+	add := func(q *dataset.Question) { qs = append(qs, q) }
+
+	mustEq := func(id string, got, want float64) {
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			panic(fmt.Sprintf("analog: %s: solver disagrees with closed form: %g vs %g", id, got, want))
+		}
+	}
+
+	// --- Schematics (a01..a30) ---------------------------------------
+
+	// a01..a04: equivalent resistance of resistor networks. Golden from
+	// the MNA solver's test-current measurement.
+	reqCases := []struct {
+		id     string
+		build  func() *Circuit
+		labels []string
+		want   float64
+	}{
+		{
+			id: "a01",
+			build: func() *Circuit {
+				c := NewCircuit()
+				c.R("R1", "a", "b", 1000).R("R2", "b", Ground, 2000).R("R3", "b", Ground, 2000)
+				return c
+			},
+			labels: []string{"R1=1 kOhm", "R2=2 kOhm", "R3=2 kOhm"},
+			want:   SeriesR(1000, ParallelR(2000, 2000)),
+		},
+		{
+			id: "a02",
+			build: func() *Circuit {
+				c := NewCircuit()
+				c.R("R1", "a", "m", 1000).R("R2", "m", Ground, 3000).R("R3", "a", Ground, 4000)
+				return c
+			},
+			labels: []string{"R1=1 kOhm", "R2=3 kOhm", "R3=4 kOhm"},
+			want:   ParallelR(SeriesR(1000, 3000), 4000),
+		},
+		{
+			id: "a03",
+			build: func() *Circuit {
+				c := NewCircuit()
+				c.R("R1", "a", "b", 2000).R("R2", "b", Ground, 6000).
+					R("R3", "b", "c", 1000).R("R4", "c", Ground, 2000)
+				return c
+			},
+			labels: []string{"R1=2 kOhm", "R2=6 kOhm", "R3=1 kOhm", "R4=2 kOhm"},
+			want:   SeriesR(2000, ParallelR(6000, SeriesR(1000, 2000))),
+		},
+		{
+			id: "a04",
+			build: func() *Circuit {
+				c := NewCircuit()
+				c.R("R1", "a", Ground, 3000).R("R2", "a", Ground, 6000).R("R3", "a", Ground, 2000)
+				return c
+			},
+			labels: []string{"R1=3 kOhm", "R2=6 kOhm", "R3=2 kOhm"},
+			want:   ParallelR(3000, 6000, 2000),
+		},
+	}
+	for _, rc := range reqCases {
+		req, err := rc.build().EquivalentResistance("a", Ground)
+		if err != nil {
+			panic(err)
+		}
+		mustEq(rc.id, req, rc.want)
+		format := func(v float64) string { return FormatSI(v, "Ohm") }
+		scene := ResistorNetworkScene("Resistor network", "", rc.labels)
+		add(dataset.NewMCNumeric(rc.id, dataset.Analog, "equivalent-resistance",
+			"For the resistor network in the figure with the values annotated, what is the "+
+				"equivalent resistance seen between terminal a and ground?",
+			scene, req, "Ohm", 0.02, format(req), NumericDistractors(req, format), 0.4))
+	}
+
+	// a05..a08: loaded voltage dividers (the style of the MathVista
+	// comparison example in Fig. 3, but solved through the full MNA).
+	divCases := []struct {
+		id                string
+		vs, r1, r2, rl    float64
+		extraSeries       float64 // optional R3 in series with RL (0 = none)
+		promptAnnotations []string
+	}{
+		{"a05", 5, 1000, 2200, 4700, 0,
+			[]string{"Vs=5 V", "R1=1 kOhm", "R2=2.2 kOhm", "RL=4.7 kOhm"}},
+		{"a06", 12, 2000, 3000, 6000, 0,
+			[]string{"Vs=12 V", "R1=2 kOhm", "R2=3 kOhm", "RL=6 kOhm"}},
+		{"a07", 9, 1000, 1000, 2000, 500,
+			[]string{"Vs=9 V", "R1=1 kOhm", "R2=1 kOhm", "R3=0.5 kOhm", "RL=2 kOhm"}},
+		{"a08", 3.3, 470, 1000, 1000, 0,
+			[]string{"Vs=3.3 V", "R1=470 Ohm", "R2=1 kOhm", "RL=1 kOhm"}},
+	}
+	for _, dc := range divCases {
+		c := NewCircuit()
+		c.V("Vs", "in", Ground, dc.vs)
+		c.R("R1", "in", "mid", dc.r1)
+		c.R("R2", "mid", Ground, dc.r2)
+		loadTop := "mid"
+		if dc.extraSeries > 0 {
+			c.R("R3", "mid", "load", dc.extraSeries)
+			loadTop = "load"
+		}
+		c.R("RL", loadTop, Ground, dc.rl)
+		sol, err := c.SolveDC()
+		if err != nil {
+			panic(err)
+		}
+		vl := real(sol.VoltageAt(loadTop))
+		format := func(v float64) string { return FormatPlain(round3(v), "V") }
+		scene := ResistorNetworkScene("Loaded voltage divider", "Vs", dc.promptAnnotations)
+		add(dataset.NewMCNumeric(dc.id, dataset.Analog, "voltage-divider",
+			"Given the source and resistor values annotated in the figure, determine the "+
+				"voltage across the load resistor RL. Answer in units of V.",
+			scene, vl, "V", 0.02, format(vl), NumericDistractors(vl, format), 0.5))
+	}
+
+	// a09..a12: common-source amplifier small-signal gain.
+	csCases := []struct {
+		id     string
+		gm     float64 // S
+		rd, ro float64 // ohm; ro = +Inf ignores channel-length modulation
+	}{
+		{"a09", 2e-3, 5000, math.Inf(1)},
+		{"a10", 1e-3, 10000, 20000},
+		{"a11", 4e-3, 2500, math.Inf(1)},
+		{"a12", 0.5e-3, 20000, 40000},
+	}
+	for _, cc := range csCases {
+		m := MOSFET{Gm: cc.gm, Ro: cc.ro}
+		gain := CommonSourceGain(m, cc.rd)
+		// Cross-check against the MNA solver.
+		sol, err := CommonSourceCircuit(m, cc.rd).SolveDC()
+		if err != nil {
+			panic(err)
+		}
+		mustEq(cc.id, real(sol.VoltageAt("out")), gain)
+		params := []string{
+			"gm=" + FormatSI(cc.gm, "S"),
+			"RD=" + FormatSI(cc.rd, "Ohm"),
+		}
+		if !math.IsInf(cc.ro, 0) {
+			params = append(params, "ro="+FormatSI(cc.ro, "Ohm"))
+		}
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := AmplifierScene("Common-source stage", "common-source amplifier", params)
+		add(dataset.NewMCNumeric(cc.id, dataset.Analog, "cs-gain",
+			"The common-source amplifier in the figure is biased in saturation with the "+
+				"small-signal parameters annotated. What is its small-signal voltage gain vout/vin?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.55))
+	}
+
+	// a13, a14: source follower gain.
+	sfCases := []struct {
+		id     string
+		gm, rs float64
+	}{
+		{"a13", 5e-3, 2000},
+		{"a14", 2e-3, 1000},
+	}
+	for _, sc := range sfCases {
+		m := MOSFET{Gm: sc.gm, Ro: math.Inf(1)}
+		gain := SourceFollowerGain(m, sc.rs)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := AmplifierScene("Source follower", "common-drain (source follower)",
+			[]string{"gm=" + FormatSI(sc.gm, "S"), "RS=" + FormatSI(sc.rs, "Ohm")})
+		add(dataset.NewMCNumeric(sc.id, dataset.Analog, "sf-gain",
+			"For the source follower in the figure (body effect and channel-length modulation "+
+				"neglected), what is the small-signal gain vout/vin?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.55))
+	}
+
+	// a15, a16: common-gate gain.
+	cgCases := []struct {
+		id     string
+		gm, rd float64
+	}{
+		{"a15", 2e-3, 5000},
+		{"a16", 1e-3, 8000},
+	}
+	for _, cg := range cgCases {
+		m := MOSFET{Gm: cg.gm, Ro: math.Inf(1)}
+		gain := CommonGateGain(m, cg.rd)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := AmplifierScene("Common-gate stage", "common-gate amplifier",
+			[]string{"gm=" + FormatSI(cg.gm, "S"), "RD=" + FormatSI(cg.rd, "Ohm")})
+		add(dataset.NewMCNumeric(cg.id, dataset.Analog, "cg-gain",
+			"The common-gate stage in the figure is driven at its source terminal with the "+
+				"parameters annotated. What is its small-signal voltage gain vout/vin?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.6))
+	}
+
+	// a17, a18: differential pair gain.
+	dpCases := []struct {
+		id     string
+		gm, rd float64
+		ro     float64
+	}{
+		{"a17", 1e-3, 10000, math.Inf(1)},
+		{"a18", 2e-3, 5000, 20000},
+	}
+	for _, dp := range dpCases {
+		m := MOSFET{Gm: dp.gm, Ro: dp.ro}
+		gain := DiffPairGain(m, dp.rd)
+		params := []string{"gm=" + FormatSI(dp.gm, "S"), "RD=" + FormatSI(dp.rd, "Ohm")}
+		if !math.IsInf(dp.ro, 0) {
+			params = append(params, "ro="+FormatSI(dp.ro, "Ohm"))
+		}
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := AmplifierScene("Differential pair", "resistively loaded differential pair", params)
+		add(dataset.NewMCNumeric(dp.id, dataset.Analog, "diff-gain",
+			"For the resistively loaded differential pair in the figure, what is the "+
+				"differential small-signal gain vod/vid?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.65))
+	}
+
+	// a19, a20: current mirrors.
+	mirrorCases := []struct {
+		id          string
+		iref, ratio float64
+	}{
+		{"a19", 100e-6, 2},
+		{"a20", 50e-6, 4},
+	}
+	for _, mc := range mirrorCases {
+		iout := MirrorOutputCurrent(mc.iref, mc.ratio)
+		format := func(v float64) string { return FormatSI(v, "A") }
+		scene := AmplifierScene("Current mirror", "NMOS current mirror",
+			[]string{"Iref=" + FormatSI(mc.iref, "A"),
+				fmt.Sprintf("(W/L)out = %g x (W/L)ref", mc.ratio)})
+		add(dataset.NewMCNumeric(mc.id, dataset.Analog, "current-mirror",
+			"The current mirror in the figure copies the reference current with the device "+
+				"ratio annotated. Assuming ideal matching and saturation, what is the output current?",
+			scene, iout, "A", 0.02, format(iout), NumericDistractors(iout, format), 0.45))
+	}
+
+	// a21, a22: RC filter cutoff frequency, cross-checked against the MNA
+	// AC sweep.
+	rcCases := []struct {
+		id   string
+		r, c float64
+	}{
+		{"a21", 1600, 100e-9},
+		{"a22", 10000, 1.59e-9},
+	}
+	for _, rc := range rcCases {
+		fc := RCLowPassCutoffHz(rc.r, rc.c)
+		// Cross-check: |H| at 2*pi*fc should be ~0.707.
+		cir := NewCircuit()
+		cir.V("Vin", "in", Ground, 1).R("R", "in", "out", rc.r).C("C", "out", Ground, rc.c)
+		g, err := cir.Transfer("Vin", "out", []float64{2 * math.Pi * fc})
+		if err != nil {
+			panic(err)
+		}
+		if math.Abs(cmplxAbs(g[0])-1/math.Sqrt2) > 1e-6 {
+			panic("analog: RC cutoff cross-check failed")
+		}
+		format := func(v float64) string { return FormatSI(v, "Hz") }
+		scene := ResistorNetworkScene("First-order RC low-pass filter", "Vin",
+			[]string{"R=" + FormatSI(rc.r, "Ohm"), "C=" + FormatSI(rc.c, "F")})
+		add(dataset.NewMCNumeric(rc.id, dataset.Analog, "rc-cutoff",
+			"For the first-order RC low-pass filter in the figure, what is the -3 dB cutoff "+
+				"frequency?",
+			scene, fc, "Hz", 0.03, format(fc), NumericDistractors(fc, format), 0.45))
+	}
+
+	// a23, a24: op-amp closed-loop gains.
+	{
+		gain := InvertingOpAmpGain(1000, 10000)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := OpAmpScene("Op-amp stage", "R1=1 kOhm", "R2=10 kOhm", true)
+		add(dataset.NewMCNumeric("a23", dataset.Analog, "opamp-inverting",
+			"Assuming an ideal op-amp, what is the closed-loop voltage gain of the "+
+				"inverting amplifier in the figure?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.4))
+	}
+	{
+		gain := NonInvertingOpAmpGain(1000, 9000)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := OpAmpScene("Op-amp stage", "R1=1 kOhm", "R2=9 kOhm", false)
+		add(dataset.NewMCNumeric("a24", dataset.Analog, "opamp-noninverting",
+			"Assuming an ideal op-amp, what is the closed-loop voltage gain of the "+
+				"non-inverting amplifier in the figure?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.4))
+	}
+
+	// a25: integrator recognition.
+	{
+		scene := OpAmpScene("Op-amp circuit", "R1=10 kOhm", "C1=100 nF (feedback capacitor)", true)
+		add(dataset.NewMC("a25", dataset.Analog, "integrator",
+			"The op-amp circuit in the figure has a resistor at its inverting input and a "+
+				"capacitor in the feedback path. What function does this circuit perform?",
+			scene, "inverting integrator",
+			[3]string{"differentiator", "comparator with hysteresis", "unity-gain buffer"}, 0.45))
+	}
+	// a26: relaxation oscillator recognition.
+	{
+		scene := BlockDiagramScene("Comparator-based circuit",
+			[]string{"COMPARATOR", "RC NETWORK"},
+			[]string{"positive feedback to +", "RC from output to -"})
+		scene.Kind = visual.KindSchematic
+		add(dataset.NewMC("a26", dataset.Analog, "oscillator",
+			"A comparator drives an RC network whose capacitor voltage feeds back to the "+
+				"inverting input, while resistive positive feedback sets the thresholds, as shown. "+
+				"What circuit is this?",
+			scene, "relaxation oscillator (astable multivibrator)",
+			[3]string{"monostable one-shot", "Schmitt-trigger buffer", "sample-and-hold"}, 0.55))
+	}
+	// a27: flash ADC comparator count.
+	{
+		bits := 4
+		nc := float64(FlashComparators(bits))
+		format := func(v float64) string { return FormatPlain(v, "comparators") }
+		scene := BlockDiagramScene("FLASH ADC",
+			[]string{"RESISTOR LADDER", "COMPARATOR BANK", "ENCODER"},
+			[]string{fmt.Sprintf("resolution: %d bits", bits)})
+		scene.Kind = visual.KindSchematic
+		add(dataset.NewMCNumeric("a27", dataset.Analog, "flash-adc",
+			"The flash ADC in the figure converts with the resolution annotated. How many "+
+				"comparators does its comparator bank require?",
+			scene, nc, "comparators", 0,
+			format(nc), [3]string{format(16), format(8), format(31)}, 0.5))
+	}
+	// a28: SAR conversion cycles.
+	{
+		bits := 10
+		n := float64(SARCycles(bits))
+		format := func(v float64) string { return FormatPlain(v, "cycles") }
+		scene := BlockDiagramScene("SAR ADC",
+			[]string{"S/H", "COMPARATOR", "SAR LOGIC", "DAC"},
+			[]string{fmt.Sprintf("resolution: %d bits", bits)})
+		scene.Kind = visual.KindSchematic
+		add(dataset.NewMCNumeric("a28", dataset.Analog, "sar-adc",
+			"The successive-approximation ADC in the figure performs a binary search over "+
+				"its DAC codes. How many comparison cycles does one conversion take at the "+
+				"annotated resolution?",
+			scene, n, "cycles", 0,
+			format(n), [3]string{format(1023), format(20), format(5)}, 0.5))
+	}
+	// a29: instrumentation amplifier gain.
+	{
+		gain := InstrumentationAmpGain(50000, 1000)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := OpAmpScene("Instrumentation amplifier", "Rg=1 kOhm", "R=50 kOhm", false)
+		add(dataset.NewMCNumeric("a29", dataset.Analog, "in-amp",
+			"The three-op-amp instrumentation amplifier in the figure has a unity-gain "+
+				"difference stage. With the gain-setting resistors annotated, what is the overall "+
+				"differential gain (1 + 2R/Rg)?",
+			scene, gain, "V/V", 0.02, format(gain), NumericDistractors(gain, format), 0.6))
+	}
+	// a30: feedback topology identification.
+	{
+		scene := BlockDiagramScene("Feedback amplifier",
+			[]string{"AMP A", "LOAD"},
+			[]string{"output voltage sampled", "feedback voltage in series with input"})
+		scene.Kind = visual.KindSchematic
+		add(dataset.NewMC("a30", dataset.Analog, "feedback-topology",
+			"The feedback network in the figure samples the output voltage and returns a "+
+				"voltage in series with the input. Which feedback topology is this?",
+			scene, "series-shunt (voltage-voltage) feedback",
+			[3]string{"shunt-series (current-current) feedback",
+				"series-series (transconductance) feedback",
+				"shunt-shunt (transresistance) feedback"}, 0.7))
+	}
+
+	// --- Curves (a31..a35) --------------------------------------------
+
+	// a31: DC gain from a Bode magnitude plot.
+	{
+		h := SinglePole(100, 1e4)
+		pts := h.BodeSweep(1e2, 1e7, 8)
+		dcDB := h.MagnitudeDB(1e2)
+		format := func(v float64) string { return FormatPlain(round3(v), "dB") }
+		scene := BodeScene("Bode magnitude plot", pts,
+			[]string{"low-frequency plateau: 40 dB"})
+		add(dataset.NewMCNumeric("a31", dataset.Analog, "bode-dcgain",
+			"The Bode magnitude plot in the figure shows an amplifier's frequency response. "+
+				"What is the low-frequency (DC) gain in dB?",
+			scene, round3(dcDB), "dB", 0.03, format(dcDB), NumericDistractors(dcDB, format), 0.4))
+	}
+	// a32: pole frequency from a Bode plot.
+	{
+		h := SinglePole(100, 1e4)
+		wc := h.CutoffOmega()
+		pts := h.BodeSweep(1e2, 1e7, 8)
+		format := func(v float64) string { return FormatSI(v, "rad/s") }
+		scene := BodeScene("Bode magnitude plot", pts,
+			[]string{"gain is 3 dB below the plateau at w = 10 krad/s"})
+		add(dataset.NewMCNumeric("a32", dataset.Analog, "bode-pole",
+			"From the Bode magnitude plot in the figure, at what angular frequency does the "+
+				"amplifier's dominant pole lie (the -3 dB corner)?",
+			scene, wc, "rad/s", 0.05, format(wc), NumericDistractors(wc, format), 0.5))
+	}
+	// a33: roll-off slope.
+	{
+		h := SinglePole(1000, 1e3)
+		pts := h.BodeSweep(1e1, 1e7, 8)
+		scene := BodeScene("Bode magnitude plot", pts,
+			[]string{"single corner visible"})
+		add(dataset.NewMC("a33", dataset.Analog, "bode-slope",
+			"Beyond the corner frequency visible in the Bode magnitude plot, at what rate "+
+				"does the gain roll off?",
+			scene, "-20 dB/decade",
+			[3]string{"-40 dB/decade", "-6 dB/decade", "-10 dB/decade"}, 0.4))
+	}
+	// a34: phase margin.
+	{
+		h := TwoPole(1000, 1e3, 1e6)
+		pm := h.PhaseMarginDeg()
+		pts := h.BodeSweep(1e2, 1e8, 8)
+		format := func(v float64) string { return FormatPlain(round1(v), "degrees") }
+		scene := BodeScene("Loop-gain Bode plot", pts,
+			[]string{"poles at 1 krad/s and 1 Mrad/s", "DC gain 60 dB"})
+		add(dataset.NewMCNumeric("a34", dataset.Analog, "phase-margin",
+			"The loop gain of a two-pole amplifier is plotted in the figure with its pole "+
+				"frequencies annotated. What is the phase margin at the unity-gain crossover?",
+			scene, round1(pm), "degrees", 0.08, format(pm),
+			[3]string{format(90), format(45), format(180 - round1(pm))}, 0.8))
+	}
+	// a35: unity-gain frequency.
+	{
+		h := SinglePole(100, 1e4)
+		wu := h.UnityGainOmega()
+		pts := h.BodeSweep(1e2, 1e8, 8)
+		format := func(v float64) string { return FormatSI(v, "rad/s") }
+		scene := BodeScene("Bode magnitude plot", pts,
+			[]string{"DC gain 40 dB", "pole at 10 krad/s"})
+		add(dataset.NewMCNumeric("a35", dataset.Analog, "unity-gain",
+			"For the single-pole amplifier whose response is plotted in the figure, at what "+
+				"angular frequency does the gain fall to unity (0 dB)?",
+			scene, wu, "rad/s", 0.05, format(wu), NumericDistractors(wu, format), 0.6))
+	}
+
+	// --- Diagrams (a36..a40) ------------------------------------------
+
+	// a36: closed-loop gain from a feedback block diagram.
+	{
+		a0, beta := 1e4, 0.01
+		acl := ClosedLoopGain(a0, beta)
+		format := func(v float64) string { return FormatPlain(round3(v), "V/V") }
+		scene := BlockDiagramScene("Negative feedback loop",
+			[]string{"A", "OUTPUT"},
+			[]string{"A = 10000", "beta = 0.01", "feedback subtracts at input"})
+		add(dataset.NewMCNumeric("a36", dataset.Analog, "closed-loop",
+			"The negative-feedback system in the figure has forward gain A and feedback "+
+				"factor beta as annotated. What is the closed-loop gain A/(1+A*beta)?",
+			scene, acl, "V/V", 0.02, format(acl), NumericDistractors(acl, format), 0.5))
+	}
+	// a37: pipeline ADC residue gain.
+	{
+		g := PipelineResidueGain(2)
+		format := func(v float64) string { return FormatPlain(v, "V/V") }
+		scene := BlockDiagramScene("Pipeline ADC stage",
+			[]string{"S/H", "SUB-ADC", "DAC", "RESIDUE AMP"},
+			[]string{"stage resolves 2 bits"})
+		add(dataset.NewMCNumeric("a37", dataset.Analog, "pipeline-residue",
+			"Each stage of the pipeline ADC in the figure resolves the number of bits "+
+				"annotated and amplifies its residue for the next stage. What interstage residue "+
+				"gain does the stage need?",
+			scene, g, "V/V", 0,
+			format(g), [3]string{format(2), format(8), format(1)}, 0.65))
+	}
+	// a38: PLL block identification.
+	{
+		scene := BlockDiagramScene("Phase-locked loop",
+			[]string{"PFD", "LOOP FILTER", "X", "DIVIDER"},
+			[]string{"block X converts control voltage to frequency"})
+		add(dataset.NewMC("a38", dataset.Analog, "pll",
+			"In the phase-locked loop of the figure, the block marked X takes the loop "+
+				"filter's control voltage and produces the output clock. What is block X?",
+			scene, "voltage-controlled oscillator (VCO)",
+			[3]string{"phase-frequency detector", "charge pump", "frequency divider"}, 0.45))
+	}
+	// a39: Miller compensation purpose.
+	{
+		scene := BlockDiagramScene("Two-stage op-amp",
+			[]string{"GM1", "GM2"},
+			[]string{"capacitor Cc bridges input and output of second stage"})
+		add(dataset.NewMC("a39", dataset.Analog, "miller",
+			"The two-stage amplifier in the figure has a capacitor Cc connected across its "+
+				"second stage. What is the primary purpose of Cc?",
+			scene, "pole splitting: it creates a dominant pole for stability (Miller compensation)",
+			[3]string{"it boosts the DC gain of the second stage",
+				"it filters power-supply noise from the output",
+				"it cancels the input offset voltage"}, 0.7))
+	}
+	// a40: sample-and-hold recognition.
+	{
+		scene := BlockDiagramScene("Mystery switched circuit",
+			[]string{"SWITCH", "CAP", "BUFFER"},
+			[]string{"switch driven by clock phi", "capacitor holds voltage when open"})
+		add(dataset.NewMC("a40", dataset.Analog, "sample-hold",
+			"A clocked switch charges a capacitor that drives a unity-gain buffer, as shown "+
+				"in the figure. What circuit is this?",
+			scene, "sample-and-hold",
+			[3]string{"charge pump", "switched-capacitor integrator", "peak detector"}, 0.4))
+	}
+
+	// --- Equation (a41) -------------------------------------------------
+
+	{
+		wp := 1e4
+		scene := EquationScene(visual.KindEquation, "Transfer function",
+			[]string{"H(s) = 100 / (1 + s/10000)"})
+		format := func(v float64) string { return FormatSI(v, "rad/s") }
+		add(dataset.NewMCNumeric("a41", dataset.Analog, "tf-pole",
+			"The symbolic transfer function in the figure describes a single-pole amplifier. "+
+				"At what angular frequency is its pole located?",
+			scene, wp, "rad/s", 0.02, format(wp), NumericDistractors(wp, format), 0.4))
+	}
+
+	// --- Equations sheet (a42) ------------------------------------------
+
+	{
+		// Single-loop KVL: Vs = I*(R1+R2).
+		vs, r1, r2 := 9.0, 1000.0, 2000.0
+		i := vs / (r1 + r2)
+		// Cross-check with MNA.
+		c := NewCircuit()
+		c.V("Vs", "n1", Ground, vs).R("R1", "n1", "n2", r1).R("R2", "n2", Ground, r2)
+		sol, err := c.SolveDC()
+		if err != nil {
+			panic(err)
+		}
+		mustEq("a42", real(-sol.BranchCurrents["Vs"]), i)
+		format := func(v float64) string { return FormatSI(v, "A") }
+		scene := EquationScene(visual.KindEquations, "Loop equations",
+			[]string{"KVL: 9 = 1000*I + 2000*I", "solve for the loop current I"})
+		add(dataset.NewMCNumeric("a42", dataset.Analog, "kvl",
+			"The loop equation in the figure describes a single-loop circuit. What is the "+
+				"loop current I?",
+			scene, i, "A", 0.02, format(i), NumericDistractors(i, format), 0.35))
+	}
+
+	// --- Mixed (a43, a44) -------------------------------------------------
+
+	{
+		id, vov := 0.5e-3, 0.25
+		gm := GmFromBias(id, vov)
+		format := func(v float64) string { return FormatSI(v, "S") }
+		scene := MixedScene("Biased transistor with parameter table",
+			"NMOS in saturation",
+			[][2]string{{"ID", "0.5 mA"}, {"Vov", "0.25 V"}})
+		add(dataset.NewMCNumeric("a43", dataset.Analog, "gm-bias",
+			"Using the bias point listed in the device table of the figure and the square-law "+
+				"relation gm = 2*ID/Vov, what is the transistor's transconductance?",
+			scene, gm, "S", 0.02, format(gm), NumericDistractors(gm, format), 0.5))
+	}
+	{
+		a0, fp, acl := 1000.0, 1e3, 10.0
+		bw := GainBandwidthProduct(a0, fp) / acl
+		format := func(v float64) string { return FormatSI(v, "Hz") }
+		scene := MixedScene("Amplifier with response table",
+			"op-amp in closed loop",
+			[][2]string{{"A0", "1000"}, {"fp", "1 kHz"}, {"closed-loop gain", "10"}})
+		add(dataset.NewMCNumeric("a44", dataset.Analog, "gbw",
+			"The amplifier described by the table in the figure has a single pole. When "+
+				"configured for the closed-loop gain listed, what closed-loop bandwidth results "+
+				"(gain-bandwidth product divided by closed-loop gain)?",
+			scene, bw, "Hz", 0.03, format(bw), NumericDistractors(bw, format), 0.6))
+	}
+
+	return qs
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+func round1(v float64) float64 { return math.Round(v*10) / 10 }
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }

@@ -1,0 +1,149 @@
+package analog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/visual"
+)
+
+func TestGenerateComposition(t *testing.T) {
+	qs := Generate()
+	if len(qs) != 44 {
+		t.Fatalf("generated %d questions, want 44", len(qs))
+	}
+	kinds := map[visual.Kind]int{}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", q.ID, err)
+		}
+		if q.Category != dataset.Analog {
+			t.Errorf("%s: wrong category", q.ID)
+		}
+		if q.Type != dataset.MultipleChoice {
+			t.Errorf("%s: Analog questions are all multiple choice (§III-B2)", q.ID)
+		}
+		kinds[q.Visual.Kind]++
+	}
+	want := map[visual.Kind]int{
+		visual.KindSchematic: 30,
+		visual.KindCurve:     5,
+		visual.KindDiagram:   5,
+		visual.KindEquation:  1,
+		visual.KindEquations: 1,
+		visual.KindMixed:     2,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("visual %s: %d, want %d", k, kinds[k], n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(), Generate()
+	for i := range a {
+		if a[i].Prompt != b[i].Prompt || a[i].Golden.Choice != b[i].Golden.Choice {
+			t.Fatalf("question %d (%s) differs between runs", i, a[i].ID)
+		}
+	}
+}
+
+func TestChoicesDistinct(t *testing.T) {
+	for _, q := range Generate() {
+		seen := make(map[string]bool)
+		for _, c := range q.Choices {
+			if seen[c] {
+				t.Errorf("%s: duplicate option %q", q.ID, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestNumericGoldensConsistent(t *testing.T) {
+	// Every numeric question's golden Text must parse to its golden
+	// Number (through the same SI formatting that produced it).
+	for _, q := range Generate() {
+		if q.Golden.Unit == "" && q.Golden.Tolerance == 0 {
+			continue
+		}
+		got := q.Choices[q.Golden.Choice]
+		if got != q.Golden.Text {
+			t.Errorf("%s: golden Text %q != correct option %q", q.ID, q.Golden.Text, got)
+		}
+	}
+}
+
+func TestVoltageDividerGoldenMatchesPaperStyle(t *testing.T) {
+	// a05 mirrors the Fig. 3 MathVista example: Vs=5, R1=1k, R2=2.2k,
+	// RL=4.7k. RL || R2 = 1.4985k; V = 5 * 1.4985/(1+1.4985) = 2.999 V.
+	qs := Generate()
+	var a05 *dataset.Question
+	for _, q := range qs {
+		if q.ID == "a05" {
+			a05 = q
+		}
+	}
+	if a05 == nil {
+		t.Fatal("a05 missing")
+	}
+	want := 5 * ParallelR(2200, 4700) / (1000 + ParallelR(2200, 4700))
+	if math.Abs(a05.Golden.Number-want) > 1e-3 {
+		t.Errorf("a05 golden %v, want %v", a05.Golden.Number, want)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2200, "Ohm", "2.2 kOhm"},
+		{0.004, "S", "4 mS"},
+		{100e-6, "A", "100 uA"},
+		{1e4, "rad/s", "10 krad/s"},
+		{0, "V", "0 V"},
+		{-10, "V/V", "-10 V/V"},
+		{1.5e9, "Hz", "1.5 GHz"},
+		{3.3e-12, "F", "3.3 pF"},
+	}
+	for _, c := range cases {
+		if got := FormatSI(c.v, c.unit); got != c.want {
+			t.Errorf("FormatSI(%v, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestNumericDistractorsDistinct(t *testing.T) {
+	format := func(v float64) string { return FormatPlain(v, "V") }
+	for _, golden := range []float64{1, -10, 0.5, 100, 3} {
+		d := NumericDistractors(golden, format)
+		seen := map[string]bool{format(golden): true}
+		for _, s := range d {
+			if s == "" {
+				t.Fatalf("empty distractor for golden %v", golden)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate distractor %q for golden %v", s, golden)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestNumericDistractorsDegenerate(t *testing.T) {
+	// Golden of 0 collapses many candidates; the fallback must still
+	// produce three distinct options.
+	format := func(v float64) string { return FormatPlain(v, "") }
+	d := NumericDistractors(0, format)
+	seen := map[string]bool{format(0): true}
+	for _, s := range d {
+		if seen[s] {
+			t.Fatalf("duplicate distractor %q for golden 0: %v", s, d)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,168 @@
+package arch
+
+import "fmt"
+
+// MESIState is a cache-line state in the MESI protocol.
+type MESIState int
+
+// MESI states.
+const (
+	Invalid MESIState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String names the state by its protocol letter.
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("MESIState(%d)", int(s))
+	}
+}
+
+// CoherenceEvent is an action observed by one cache for a line.
+type CoherenceEvent int
+
+// Events: processor-side reads/writes and bus-side snoops.
+const (
+	ProcRead CoherenceEvent = iota
+	ProcWrite
+	BusRead    // another cache reads the line
+	BusReadX   // another cache requests exclusive ownership
+	BusUpgrade // another cache upgrades S->M
+)
+
+// String names the event.
+func (e CoherenceEvent) String() string {
+	switch e {
+	case ProcRead:
+		return "PrRd"
+	case ProcWrite:
+		return "PrWr"
+	case BusRead:
+		return "BusRd"
+	case BusReadX:
+		return "BusRdX"
+	case BusUpgrade:
+		return "BusUpgr"
+	default:
+		return fmt.Sprintf("CoherenceEvent(%d)", int(e))
+	}
+}
+
+// MESINext returns the next state of a line after the event.
+// sharedLine reports whether, on a processor read miss, some other cache
+// holds the line (drives the E vs S choice). The second return value
+// notes whether the transition writes the line back to memory.
+func MESINext(s MESIState, e CoherenceEvent, sharedLine bool) (MESIState, bool) {
+	switch s {
+	case Invalid:
+		switch e {
+		case ProcRead:
+			if sharedLine {
+				return Shared, false
+			}
+			return Exclusive, false
+		case ProcWrite:
+			return Modified, false
+		default:
+			return Invalid, false
+		}
+	case Shared:
+		switch e {
+		case ProcRead:
+			return Shared, false
+		case ProcWrite:
+			return Modified, false // issues BusUpgr
+		case BusRead:
+			return Shared, false
+		case BusReadX, BusUpgrade:
+			return Invalid, false
+		}
+	case Exclusive:
+		switch e {
+		case ProcRead:
+			return Exclusive, false
+		case ProcWrite:
+			return Modified, false // silent upgrade
+		case BusRead:
+			return Shared, false
+		case BusReadX:
+			return Invalid, false
+		}
+	case Modified:
+		switch e {
+		case ProcRead, ProcWrite:
+			return Modified, false
+		case BusRead:
+			return Shared, true // flush dirty data
+		case BusReadX:
+			return Invalid, true
+		}
+	}
+	return s, false
+}
+
+// CoherenceTraceStep is one step of a multi-core access trace.
+type CoherenceTraceStep struct {
+	Core  int
+	Write bool
+}
+
+// RunMESI simulates cores touching one shared line and returns the final
+// per-core states plus the number of writebacks (dirty flushes).
+func RunMESI(cores int, trace []CoherenceTraceStep) ([]MESIState, int, error) {
+	states := make([]MESIState, cores)
+	writebacks := 0
+	for step, t := range trace {
+		if t.Core < 0 || t.Core >= cores {
+			return nil, 0, fmt.Errorf("arch: step %d references core %d of %d", step, t.Core, cores)
+		}
+		// Does any other core hold the line?
+		shared := false
+		for i, s := range states {
+			if i != t.Core && s != Invalid {
+				shared = true
+			}
+		}
+		ev := ProcRead
+		snoop := BusRead
+		if t.Write {
+			ev = ProcWrite
+			snoop = BusReadX
+		}
+		// Other cores observe the snoop (only needed when requestor
+		// misses or upgrades; modelling every access as a bus event is
+		// conservative and standard for exercise traces except silent
+		// hits).
+		requestorHit := states[t.Core] != Invalid
+		silent := requestorHit && (!t.Write || states[t.Core] == Exclusive || states[t.Core] == Modified)
+		if !silent {
+			for i := range states {
+				if i == t.Core {
+					continue
+				}
+				next, wb := MESINext(states[i], snoop, false)
+				if wb {
+					writebacks++
+				}
+				states[i] = next
+			}
+		}
+		next, wb := MESINext(states[t.Core], ev, shared)
+		if wb {
+			writebacks++
+		}
+		states[t.Core] = next
+	}
+	return states, writebacks, nil
+}

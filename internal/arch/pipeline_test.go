@@ -1,0 +1,165 @@
+package arch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleInstructionLatency(t *testing.T) {
+	r := SimulatePipeline([]Instr{{Op: OpALU, Dest: 1, Src1: 2, Src2: 3}}, ClassicFiveStage())
+	if r.Cycles != 5 {
+		t.Errorf("one instruction through 5 stages = %d cycles, want 5", r.Cycles)
+	}
+	if r.CPI() != 5 {
+		t.Errorf("CPI = %v", r.CPI())
+	}
+}
+
+func TestIndependentStream(t *testing.T) {
+	// N independent instructions: N + 4 cycles.
+	prog := make([]Instr, 10)
+	for i := range prog {
+		prog[i] = Instr{Op: OpALU, Dest: i + 1, Src1: 20, Src2: 21}
+	}
+	r := SimulatePipeline(prog, ClassicFiveStage())
+	if r.Cycles != 14 {
+		t.Errorf("10 independent instructions = %d cycles, want 14", r.Cycles)
+	}
+	if r.Stalls != 0 {
+		t.Errorf("stalls = %d, want 0", r.Stalls)
+	}
+}
+
+func TestLoadUseHazard(t *testing.T) {
+	if s := LoadUseStalls(FullBypass()); s != 1 {
+		t.Errorf("load-use with full forwarding = %d stalls, want 1", s)
+	}
+	if s := LoadUseStalls(NoBypass()); s != 2 {
+		t.Errorf("load-use without forwarding = %d stalls, want 2", s)
+	}
+	if s := LoadUseStalls(BypassConfig{EXtoEX: true}); s != 2 {
+		t.Errorf("load-use with only EX-EX forwarding = %d stalls, want 2", s)
+	}
+}
+
+func TestALUDependencyStalls(t *testing.T) {
+	prog := []Instr{
+		{Op: OpALU, Dest: 1, Src1: 2, Src2: 3},
+		{Op: OpALU, Dest: 4, Src1: 1, Src2: 3},
+	}
+	// Full forwarding: back to back, no stall.
+	r := SimulatePipeline(prog, ClassicFiveStage())
+	if r.Stalls != 0 {
+		t.Errorf("ALU-ALU with forwarding: %d stalls, want 0", r.Stalls)
+	}
+	// No forwarding: wait for write-back (2 stalls with write-before-
+	// read register file).
+	r = SimulatePipeline(prog, PipelineConfig{Bypass: NoBypass()})
+	if r.Stalls != 2 {
+		t.Errorf("ALU-ALU without forwarding: %d stalls, want 2", r.Stalls)
+	}
+}
+
+func TestBranchPenalty(t *testing.T) {
+	prog := []Instr{
+		{Op: OpBranch, Src1: 1, Src2: 2, Taken: true},
+		{Op: OpALU, Dest: 3, Src1: 4, Src2: 5},
+	}
+	r := SimulatePipeline(prog, ClassicFiveStage())
+	if r.FlushBubbles != 2 {
+		t.Errorf("taken branch bubbles = %d, want 2", r.FlushBubbles)
+	}
+	// Not-taken branch costs nothing.
+	prog[0].Taken = false
+	r = SimulatePipeline(prog, ClassicFiveStage())
+	if r.FlushBubbles != 0 {
+		t.Errorf("not-taken branch bubbles = %d, want 0", r.FlushBubbles)
+	}
+}
+
+func TestQuickBypassNeverHurts(t *testing.T) {
+	// Property: enabling forwarding never increases total cycles on a
+	// random program.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(10)
+		prog := make([]Instr, n)
+		for i := range prog {
+			op := []OpClass{OpALU, OpLoad, OpStore}[r.Intn(3)]
+			prog[i] = Instr{
+				Op:   op,
+				Dest: r.Intn(8),
+				Src1: r.Intn(8),
+				Src2: r.Intn(8),
+			}
+			if op == OpStore {
+				prog[i].Dest = 0
+			}
+		}
+		full := SimulatePipeline(prog, PipelineConfig{Bypass: FullBypass()})
+		none := SimulatePipeline(prog, PipelineConfig{Bypass: NoBypass()})
+		return full.Cycles <= none.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIssueOrderMonotone(t *testing.T) {
+	// Property: the in-order pipeline issues instructions in strictly
+	// increasing EX cycles.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		prog := make([]Instr, n)
+		for i := range prog {
+			prog[i] = Instr{Op: OpALU, Dest: 1 + r.Intn(7), Src1: 1 + r.Intn(7)}
+		}
+		res := SimulatePipeline(prog, ClassicFiveStage())
+		for i := 1; i < len(res.IssueCycle); i++ {
+			if res.IssueCycle[i] <= res.IssueCycle[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCriticalPathFrequency(t *testing.T) {
+	f := CriticalPathFrequency([]float64{0.8, 1.0, 1.5, 1.2, 0.9}, 0.1)
+	want := 1000 / 1.6
+	if diff := f - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("frequency %v, want %v", f, want)
+	}
+	if CriticalPathFrequency(nil, 0) != 0 {
+		t.Error("empty stage list should give 0")
+	}
+}
+
+func TestInstrFormat(t *testing.T) {
+	cases := []struct {
+		i    Instr
+		want string
+	}{
+		{Instr{Op: OpLoad, Dest: 1, Src1: 2}, "lw r1, 0(r2)"},
+		{Instr{Op: OpALU, Dest: 3, Src1: 1, Src2: 4}, "add r3, r1, r4"},
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpALU, Label: "custom"}, "custom"},
+	}
+	for _, c := range cases {
+		if got := c.i.Format(); got != c.want {
+			t.Errorf("Format = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	r := SimulatePipeline(nil, ClassicFiveStage())
+	if r.Cycles != 0 || r.CPI() != 0 {
+		t.Errorf("empty program: %+v", r)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analog"
+	"repro/internal/arch"
+	"repro/internal/dataset"
+	"repro/internal/digital"
+	"repro/internal/manuf"
+	"repro/internal/phys"
+)
+
+// BuildExtended generates an extended collection beyond the fixed
+// 142-question benchmark — the paper's stated future work
+// ("ChipVQA-oriented dataset collection"). Each discipline contributes
+// perCategory additional seed-parameterised questions from its template
+// library; the seed makes disjoint collections ("fold-a", "fold-b", ...)
+// for train/test studies.
+func BuildExtended(seed string, perCategory int) (*dataset.Benchmark, error) {
+	if perCategory <= 0 {
+		return nil, fmt.Errorf("core: perCategory must be positive, got %d", perCategory)
+	}
+	b := &dataset.Benchmark{Name: fmt.Sprintf("ChipVQA-extended-%s", seed)}
+	b.Questions = append(b.Questions, digital.GenerateExtra(seed, perCategory)...)
+	b.Questions = append(b.Questions, analog.GenerateExtra(seed, perCategory)...)
+	b.Questions = append(b.Questions, arch.GenerateExtra(seed, perCategory)...)
+	b.Questions = append(b.Questions, manuf.GenerateExtra(seed, perCategory)...)
+	b.Questions = append(b.Questions, phys.GenerateExtra(seed, perCategory)...)
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// SplitTrainTest partitions a benchmark into a training and a test split
+// by taking every k-th question into the test set (k = 1/testFraction),
+// preserving category balance because questions are grouped by category.
+func SplitTrainTest(b *dataset.Benchmark, testEvery int) (train, test *dataset.Benchmark) {
+	if testEvery < 2 {
+		testEvery = 2
+	}
+	train = &dataset.Benchmark{Name: b.Name + "-train"}
+	test = &dataset.Benchmark{Name: b.Name + "-test"}
+	for i, q := range b.Questions {
+		if i%testEvery == 0 {
+			test.Questions = append(test.Questions, q)
+		} else {
+			train.Questions = append(train.Questions, q)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/visual"
+)
+
+// Stats mirrors the full content of Table I: totals, the MC/SA split,
+// per-category counts, the visual-type histogram and prompt-token
+// statistics.
+type Stats struct {
+	Total int
+	MC    int
+	SA    int
+
+	PerCategory map[Category]int
+	PerVisual   map[visual.Kind]int
+
+	Tokens TokenStats
+}
+
+// ComputeStats derives Table I from a benchmark.
+func (b *Benchmark) ComputeStats() Stats {
+	s := Stats{
+		PerCategory: make(map[Category]int),
+		PerVisual:   make(map[visual.Kind]int),
+	}
+	for _, q := range b.Questions {
+		s.Total++
+		if q.Type == MultipleChoice {
+			s.MC++
+		} else {
+			s.SA++
+		}
+		s.PerCategory[q.Category]++
+		s.PerVisual[q.Visual.Kind]++
+	}
+	s.Tokens = b.PromptTokenStats()
+	return s
+}
+
+// FormatTableI renders the statistics in the layout of the paper's
+// Table I.
+func (s Stats) FormatTableI() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I  Statistics of ChipVQA\n")
+	sb.WriteString(fmt.Sprintf("%-16s %6s %6s %6s\n", "Data", "Total", "MC", "SA"))
+	sb.WriteString(fmt.Sprintf("%-16s %6d %6d %6d\n", "", s.Total, s.MC, s.SA))
+	sb.WriteString("\nCategory            Count\n")
+	for _, c := range Categories() {
+		sb.WriteString(fmt.Sprintf("  %-17s %5d\n", c, s.PerCategory[c]))
+	}
+	sb.WriteString("\nVisual              Count\n")
+	for k := 0; k < visual.NumKinds; k++ {
+		kind := visual.Kind(k)
+		if n := s.PerVisual[kind]; n > 0 {
+			sb.WriteString(fmt.Sprintf("  %-17s %5d\n", kind, n))
+		}
+	}
+	t := s.Tokens
+	sb.WriteString("\nPrompt Token        Length\n")
+	sb.WriteString(fmt.Sprintf("  %-17s %7.2f\n", "mean", t.Mean))
+	sb.WriteString(fmt.Sprintf("  %-17s %7.2f\n", "std", t.Std))
+	sb.WriteString(fmt.Sprintf("  %-17s %5d\n", "min", t.Min))
+	sb.WriteString(fmt.Sprintf("  %-17s %5d\n", "25%", t.P25))
+	sb.WriteString(fmt.Sprintf("  %-17s %5d\n", "50%", t.P50))
+	sb.WriteString(fmt.Sprintf("  %-17s %5d\n", "75%", t.P75))
+	sb.WriteString(fmt.Sprintf("  %-17s %5d\n", "max", t.Max))
+	return sb.String()
+}
+
+// CoverageMatrix reports, per (category, visual kind), how many questions
+// exercise that combination — the breadth claim of Fig. 1/Fig. 3.
+func (b *Benchmark) CoverageMatrix() [][]int {
+	m := make([][]int, NumCategories)
+	for i := range m {
+		m[i] = make([]int, visual.NumKinds)
+	}
+	for _, q := range b.Questions {
+		m[q.Category][q.Visual.Kind]++
+	}
+	return m
+}
+
+// FormatCoverage renders the coverage matrix as a table.
+func FormatCoverage(m [][]int) string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-14s", "Category"))
+	for k := 0; k < visual.NumKinds; k++ {
+		sb.WriteString(fmt.Sprintf("%11s", visual.Kind(k).String()))
+	}
+	sb.WriteString("\n")
+	for c := 0; c < NumCategories; c++ {
+		sb.WriteString(fmt.Sprintf("%-14s", Category(c).Short()))
+		for k := 0; k < visual.NumKinds; k++ {
+			sb.WriteString(fmt.Sprintf("%11d", m[c][k]))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,207 @@
+package digital
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndEval(t *testing.T) {
+	cases := []struct {
+		expr   string
+		assign map[string]bool
+		want   bool
+	}{
+		{"A", map[string]bool{"A": true}, true},
+		{"A'", map[string]bool{"A": true}, false},
+		{"AB", map[string]bool{"A": true, "B": true}, true},
+		{"AB", map[string]bool{"A": true, "B": false}, false},
+		{"A + B", map[string]bool{"A": false, "B": true}, true},
+		{"A ^ B", map[string]bool{"A": true, "B": true}, false},
+		{"A ^ B", map[string]bool{"A": true, "B": false}, true},
+		{"(A + B)'", map[string]bool{"A": false, "B": false}, true},
+		{"A'B' + AB", map[string]bool{"A": true, "B": true}, true},
+		{"A'B' + AB", map[string]bool{"A": false, "B": true}, false},
+		{"0", nil, false},
+		{"1", nil, true},
+		{"1'", nil, false},
+		{"A*B", map[string]bool{"A": true, "B": true}, true},
+		{"Q = S'R' + Sq", map[string]bool{"S": true, "R": false, "q": true}, true},
+		{"Q = S'R' + Sq", map[string]bool{"S": true, "R": false, "q": false}, false},
+		{"x1 + x2", map[string]bool{"x1": false, "x2": true}, true},
+		{"A''", map[string]bool{"A": true}, true},
+		{"(AB)'", map[string]bool{"A": true, "B": false}, true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.expr, err)
+		}
+		if got := e.Eval(c.assign); got != c.want {
+			t.Errorf("Eval(%q, %v) = %v, want %v", c.expr, c.assign, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "A +", "(A", "A)", "+B", "A # B", "()", "'A"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Rendering an expression and reparsing it must preserve the
+	// function.
+	exprs := []string{
+		"A'B + AB'",
+		"(A + B)(C + D)",
+		"A ^ B ^ C",
+		"AB + A'C + BC'",
+		"((A + B')C)'",
+		"A'B'C' + ABC",
+	}
+	for _, s := range exprs {
+		e := MustParse(s)
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q failed: %v", s, e.String(), err)
+		}
+		if !Equivalent(e, back) {
+			t.Errorf("round trip changed function: %q -> %q", s, e.String())
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := MustParse("B'A + C(A + x2)")
+	got := Vars(e)
+	want := []string{"A", "B", "C", "x2"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEquivalenceLaws(t *testing.T) {
+	laws := []struct {
+		a, b string
+	}{
+		{"(A + B)'", "A'B'"},           // De Morgan
+		{"(AB)'", "A' + B'"},           // De Morgan
+		{"A''", "A"},                   // double negation
+		{"A + A'", "1"},                // complement
+		{"AA'", "0"},                   // contradiction
+		{"A + AB", "A"},                // absorption
+		{"A(A + B)", "A"},              // absorption
+		{"A ^ B", "A'B + AB'"},         // xor expansion
+		{"A + B", "B + A"},             // commutativity
+		{"A(B + C)", "AB + AC"},        // distribution
+		{"A + A'B", "A + B"},           // redundancy
+		{"(A ^ B) ^ C", "A ^ (B ^ C)"}, // xor associativity
+	}
+	for _, l := range laws {
+		if !EquivalentStrings(l.a, l.b) {
+			t.Errorf("%q should be equivalent to %q", l.a, l.b)
+		}
+	}
+	notEquiv := [][2]string{
+		{"A + B", "AB"},
+		{"A'", "A"},
+		{"A ^ B", "A + B"},
+	}
+	for _, ne := range notEquiv {
+		if EquivalentStrings(ne[0], ne[1]) {
+			t.Errorf("%q should NOT be equivalent to %q", ne[0], ne[1])
+		}
+	}
+}
+
+func TestEquivalentStringsBadInput(t *testing.T) {
+	if EquivalentStrings("A +", "A") {
+		t.Error("unparseable input must not be equivalent")
+	}
+	if EquivalentStrings("A", "((") {
+		t.Error("unparseable input must not be equivalent")
+	}
+}
+
+// randomExpr builds a random expression over up to 4 variables.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	vars := []string{"A", "B", "C", "D"}
+	if depth <= 0 || r.Intn(3) == 0 {
+		return &Var{Name: vars[r.Intn(len(vars))]}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &Not{X: randomExpr(r, depth-1)}
+	case 1:
+		return &And{Xs: []Expr{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	case 2:
+		return &Or{Xs: []Expr{randomExpr(r, depth-1), randomExpr(r, depth-1)}}
+	default:
+		return &Xor{A: randomExpr(r, depth-1), B: randomExpr(r, depth-1)}
+	}
+}
+
+func TestQuickStringReparseEquivalence(t *testing.T) {
+	// Property: String() always reparses to an equivalent expression.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 4)
+		back, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		return Equivalent(e, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDoubleNegation(t *testing.T) {
+	// Property: Not(Not(e)) is equivalent to e.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		return Equivalent(e, &Not{X: &Not{X: e}})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorganGeneral(t *testing.T) {
+	// Property: (a+b)' == a'b' for random subexpressions.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomExpr(r, 3)
+		b := randomExpr(r, 3)
+		lhs := &Not{X: &Or{Xs: []Expr{a, b}}}
+		rhs := &And{Xs: []Expr{&Not{X: a}, &Not{X: b}}}
+		return Equivalent(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMintermsConvention(t *testing.T) {
+	// F = AB over [A, B]: only minterm 3 (A=1, B=1 with A as MSB).
+	e := MustParse("AB")
+	ms := Minterms(e, []string{"A", "B"})
+	if len(ms) != 1 || ms[0] != 3 {
+		t.Fatalf("Minterms(AB) = %v, want [3]", ms)
+	}
+	// F = A over [A, B]: minterms 2 and 3.
+	ms = Minterms(MustParse("A"), []string{"A", "B"})
+	if len(ms) != 2 || ms[0] != 2 || ms[1] != 3 {
+		t.Fatalf("Minterms(A) = %v, want [2 3]", ms)
+	}
+}

@@ -1,0 +1,95 @@
+package digital
+
+import (
+	"fmt"
+
+	"repro/internal/visual"
+)
+
+// grayOrder2 is the Gray-code ordering of two variables along a K-map
+// axis: 00, 01, 11, 10.
+var grayOrder2 = [4]int{0, 1, 3, 2}
+
+// KMapScene draws a Karnaugh map of a 3- or 4-variable function — the
+// "excitation map" figure style of the paper's own Digital Design sample
+// question. Rows and columns follow the Gray-code convention so adjacent
+// cells differ in one variable; the filled cells are the critical
+// content.
+//
+// For 3 variables [a, b, c]: rows are a (0,1), columns are bc in Gray
+// order. For 4 variables [a, b, c, d]: rows are ab, columns cd, both in
+// Gray order.
+func KMapScene(t *TruthTable, outName, title string) (*visual.Scene, error) {
+	nv := len(t.Vars)
+	if nv != 3 && nv != 4 {
+		return nil, fmt.Errorf("digital: K-map supports 3 or 4 variables, got %d", nv)
+	}
+	s := visual.NewScene(visual.KindTable, title)
+	const cw, ch = 56.0, 40.0
+	x0, y0 := 140.0, 90.0
+
+	var rows, cols int
+	var rowVars, colVars string
+	if nv == 3 {
+		rows, cols = 2, 4
+		rowVars = t.Vars[0]
+		colVars = t.Vars[1] + t.Vars[2]
+	} else {
+		rows, cols = 4, 4
+		rowVars = t.Vars[0] + t.Vars[1]
+		colVars = t.Vars[2] + t.Vars[3]
+	}
+	// Axis labels.
+	s.Add(visual.Element{
+		Type: visual.ElemLabel, Name: "axis", Label: rowVars + " \\ " + colVars,
+		X: x0 - 80, Y: y0 - 30, Salience: 0.85,
+	})
+	for r := 0; r < rows; r++ {
+		s.Add(visual.Element{
+			Type: visual.ElemLabel, Name: fmt.Sprintf("row%d", r),
+			Label: grayLabel(r, rows), X: x0 - 40, Y: y0 + float64(r)*ch + 12,
+			Salience: 0.8,
+		})
+	}
+	for c := 0; c < cols; c++ {
+		s.Add(visual.Element{
+			Type: visual.ElemLabel, Name: fmt.Sprintf("col%d", c),
+			Label: grayLabel(c, cols), X: x0 + float64(c)*cw + 14, Y: y0 - 24,
+			Salience: 0.8,
+		})
+	}
+	// Cells: minterm index = row bits (MSB) then column bits.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			var m int
+			if nv == 3 {
+				m = r<<2 | grayOrder2[c]
+			} else {
+				m = grayOrder2[r]<<2 | grayOrder2[c]
+			}
+			s.Add(visual.Element{
+				Type: visual.ElemCell, Name: fmt.Sprintf("k%d", m),
+				Label: fmt.Sprint(boolBit(t.Out[m])),
+				X:     x0 + float64(c)*cw, Y: y0 + float64(r)*ch,
+				X2: x0 + float64(c+1)*cw, Y2: y0 + float64(r+1)*ch,
+				Attrs: map[string]string{
+					"row": fmt.Sprint(r), "col": fmt.Sprint(c),
+					"minterm": fmt.Sprint(m),
+				},
+				Salience: 0.7, Critical: true,
+			})
+		}
+	}
+	s.Add(visual.Element{
+		Type: visual.ElemLabel, Name: "out", Label: outName,
+		X: x0 + float64(cols)*cw + 16, Y: y0 + 12, Salience: 0.85,
+	})
+	return s, nil
+}
+
+func grayLabel(i, n int) string {
+	if n == 2 {
+		return fmt.Sprint(i)
+	}
+	return fmt.Sprintf("%02b", grayOrder2[i])
+}

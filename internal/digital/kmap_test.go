@@ -1,0 +1,97 @@
+package digital
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/visual"
+)
+
+func TestKMapScene3Var(t *testing.T) {
+	tt := FromMinterms([]string{"A", "B", "C"}, []int{1, 3, 5})
+	s, err := KMapScene(tt, "F", "K-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 minterm cells present, Gray-adjacent layout: cells labelled
+	// with the table's output values.
+	found := 0
+	for _, e := range s.Elements {
+		if e.Type != visual.ElemCell {
+			continue
+		}
+		m, err := strconv.Atoi(e.Attrs["minterm"])
+		if err != nil {
+			t.Fatalf("bad minterm attr %q", e.Attrs["minterm"])
+		}
+		want := "0"
+		if tt.Out[m] {
+			want = "1"
+		}
+		if e.Label != want {
+			t.Errorf("cell m%d labelled %q, want %q", m, e.Label, want)
+		}
+		found++
+	}
+	if found != 8 {
+		t.Fatalf("%d cells, want 8", found)
+	}
+	// Renders.
+	img := visual.Render(s)
+	if img.Bounds().Dx() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestKMapScene4Var(t *testing.T) {
+	tt := FromMinterms([]string{"A", "B", "C", "D"}, []int{0, 5, 10, 15})
+	s, err := KMapScene(tt, "F", "K-map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	seen := map[string]bool{}
+	for _, e := range s.Elements {
+		if e.Type == visual.ElemCell {
+			cells++
+			if seen[e.Attrs["minterm"]] {
+				t.Errorf("duplicate minterm cell %s", e.Attrs["minterm"])
+			}
+			seen[e.Attrs["minterm"]] = true
+		}
+	}
+	if cells != 16 {
+		t.Fatalf("%d cells, want 16", cells)
+	}
+}
+
+func TestKMapGrayAdjacency(t *testing.T) {
+	// Horizontally adjacent K-map cells must differ in exactly one
+	// variable — the property that makes the map work.
+	tt := FromMinterms([]string{"A", "B", "C"}, nil)
+	s, _ := KMapScene(tt, "F", "K-map")
+	byPos := map[[2]string]int{}
+	for _, e := range s.Elements {
+		if e.Type == visual.ElemCell {
+			m, _ := strconv.Atoi(e.Attrs["minterm"])
+			byPos[[2]string{e.Attrs["row"], e.Attrs["col"]}] = m
+		}
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			a := byPos[[2]string{strconv.Itoa(r), strconv.Itoa(c)}]
+			b := byPos[[2]string{strconv.Itoa(r), strconv.Itoa(c + 1)}]
+			if popcount(a^b) != 1 {
+				t.Errorf("cells (%d,%d)-(%d,%d): minterms %d,%d differ in %d bits",
+					r, c, r, c+1, a, b, popcount(a^b))
+			}
+		}
+	}
+}
+
+func TestKMapRejectsBadArity(t *testing.T) {
+	tt := FromMinterms([]string{"A", "B"}, []int{1})
+	if _, err := KMapScene(tt, "F", "K-map"); err == nil {
+		t.Error("2-variable K-map accepted")
+	}
+}

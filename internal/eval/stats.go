@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ConfidenceInterval is a percentile bootstrap interval for Pass@1.
+type ConfidenceInterval struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // e.g. 0.95
+}
+
+// String renders the interval.
+func (ci ConfidenceInterval) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f] @ %.0f%%", ci.Point, ci.Lo, ci.Hi, ci.Level*100)
+}
+
+// BootstrapCI computes a percentile-bootstrap confidence interval for a
+// report's overall Pass@1. With only 142 questions the benchmark's
+// Pass@1 estimates carry real sampling noise — roughly ±0.08 at 95% —
+// which is worth reporting next to any Table II-style comparison.
+// Resampling is deterministic per (model, resamples, level).
+func (r *Report) BootstrapCI(resamples int, level float64) ConfidenceInterval {
+	n := len(r.Results)
+	if n == 0 {
+		return ConfidenceInterval{Level: level}
+	}
+	if resamples < 100 {
+		resamples = 100
+	}
+	correct := make([]bool, n)
+	for i, q := range r.Results {
+		correct[i] = q.Correct
+	}
+	stats := make([]float64, resamples)
+	gen := rng.New("bootstrap", r.ModelName, fmt.Sprint(resamples), fmt.Sprint(level))
+	for b := 0; b < resamples; b++ {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if correct[gen.IntN(n)] {
+				hits++
+			}
+		}
+		stats[b] = float64(hits) / float64(n)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	lo := stats[int(alpha*float64(resamples))]
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return ConfidenceInterval{Point: r.Pass1(), Lo: lo, Hi: stats[hiIdx], Level: level}
+}
+
+// McNemarResult is the outcome of a paired comparison of two models on
+// the same benchmark.
+type McNemarResult struct {
+	// OnlyA counts questions model A got right and B got wrong; OnlyB
+	// the reverse; Both and Neither complete the contingency table.
+	OnlyA, OnlyB, Both, Neither int
+	// Statistic is the continuity-corrected McNemar chi-square.
+	Statistic float64
+	// PValue is the two-sided p-value (chi-square with 1 dof).
+	PValue float64
+}
+
+// Significant reports whether the difference is significant at alpha.
+func (m McNemarResult) Significant(alpha float64) bool {
+	return m.PValue < alpha && m.OnlyA+m.OnlyB > 0
+}
+
+// String renders the comparison.
+func (m McNemarResult) String() string {
+	return fmt.Sprintf("onlyA=%d onlyB=%d both=%d neither=%d chi2=%.3f p=%.3f",
+		m.OnlyA, m.OnlyB, m.Both, m.Neither, m.Statistic, m.PValue)
+}
+
+// McNemar runs the paired McNemar test between two reports over the same
+// question set (matched by question ID). Benchmark papers comparing
+// models on a fixed question set should use a paired test — the 142
+// shared questions give it far more power than comparing two independent
+// Pass@1 values.
+func McNemar(a, b *Report) (McNemarResult, error) {
+	if len(a.Results) != len(b.Results) {
+		return McNemarResult{}, fmt.Errorf("eval: reports cover %d vs %d questions",
+			len(a.Results), len(b.Results))
+	}
+	byID := make(map[string]bool, len(b.Results))
+	for _, q := range b.Results {
+		byID[q.QuestionID] = q.Correct
+	}
+	var res McNemarResult
+	for _, q := range a.Results {
+		bCorrect, ok := byID[q.QuestionID]
+		if !ok {
+			return McNemarResult{}, fmt.Errorf("eval: question %s missing from second report", q.QuestionID)
+		}
+		switch {
+		case q.Correct && bCorrect:
+			res.Both++
+		case q.Correct:
+			res.OnlyA++
+		case bCorrect:
+			res.OnlyB++
+		default:
+			res.Neither++
+		}
+	}
+	n := res.OnlyA + res.OnlyB
+	if n == 0 {
+		res.Statistic = 0
+		res.PValue = 1
+		return res, nil
+	}
+	diff := math.Abs(float64(res.OnlyA-res.OnlyB)) - 1 // continuity correction
+	if diff < 0 {
+		diff = 0
+	}
+	res.Statistic = diff * diff / float64(n)
+	// Chi-square(1) survival function: P(X > x) = erfc(sqrt(x/2)).
+	res.PValue = math.Erfc(math.Sqrt(res.Statistic / 2))
+	return res, nil
+}

@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func reportWith(name string, correct []bool) *Report {
+	r := &Report{ModelName: name}
+	for i, c := range correct {
+		r.Results = append(r.Results, QuestionResult{
+			QuestionID: string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Category:   dataset.Category(i % dataset.NumCategories),
+			Correct:    c,
+		})
+	}
+	return r
+}
+
+func TestBootstrapCIBasics(t *testing.T) {
+	correct := make([]bool, 142)
+	for i := 0; i < 62; i++ { // ~0.44
+		correct[i] = true
+	}
+	r := reportWith("m", correct)
+	ci := r.BootstrapCI(2000, 0.95)
+	if math.Abs(ci.Point-r.Pass1()) > 1e-12 {
+		t.Errorf("point %v vs pass1 %v", ci.Point, r.Pass1())
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Errorf("interval %v does not contain the point", ci)
+	}
+	// Roughly the binomial width: sqrt(p(1-p)/n)*1.96 ~ 0.082.
+	width := ci.Hi - ci.Lo
+	if width < 0.1 || width > 0.25 {
+		t.Errorf("95%% CI width %v implausible for n=142", width)
+	}
+	if ci.String() == "" {
+		t.Error("empty CI string")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	correct := make([]bool, 50)
+	for i := range correct {
+		correct[i] = i%3 == 0
+	}
+	r := reportWith("det", correct)
+	a := r.BootstrapCI(500, 0.9)
+	b := r.BootstrapCI(500, 0.9)
+	if a != b {
+		t.Errorf("bootstrap not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestBootstrapCIEdge(t *testing.T) {
+	empty := &Report{ModelName: "e"}
+	ci := empty.BootstrapCI(200, 0.95)
+	if ci.Point != 0 {
+		t.Errorf("empty report CI %v", ci)
+	}
+	// All-correct report: degenerate interval at 1.
+	all := reportWith("all", []bool{true, true, true, true})
+	ci = all.BootstrapCI(300, 0.95)
+	if ci.Lo != 1 || ci.Hi != 1 {
+		t.Errorf("all-correct CI %v", ci)
+	}
+}
+
+func TestMcNemarKnown(t *testing.T) {
+	// A wins 10 discordant pairs, B wins 2: clearly significant.
+	n := 40
+	aCorrect := make([]bool, n)
+	bCorrect := make([]bool, n)
+	for i := 0; i < 10; i++ { // A only
+		aCorrect[i] = true
+	}
+	for i := 10; i < 12; i++ { // B only
+		bCorrect[i] = true
+	}
+	for i := 12; i < 20; i++ { // both
+		aCorrect[i] = true
+		bCorrect[i] = true
+	}
+	a := reportWith("A", aCorrect)
+	b := reportWith("B", bCorrect)
+	res, err := McNemar(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlyA != 10 || res.OnlyB != 2 || res.Both != 8 || res.Neither != 20 {
+		t.Fatalf("contingency %+v", res)
+	}
+	// chi2 = (|10-2|-1)^2/12 = 49/12 = 4.083; p ~ 0.043.
+	if math.Abs(res.Statistic-49.0/12) > 1e-9 {
+		t.Errorf("statistic %v", res.Statistic)
+	}
+	if res.PValue > 0.05 || res.PValue < 0.01 {
+		t.Errorf("p-value %v, want ~0.043", res.PValue)
+	}
+	if !res.Significant(0.05) {
+		t.Error("should be significant at 5%")
+	}
+	if res.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestMcNemarNoDifference(t *testing.T) {
+	correct := make([]bool, 30)
+	for i := range correct {
+		correct[i] = i%2 == 0
+	}
+	a := reportWith("A", correct)
+	b := reportWith("B", correct)
+	res, err := McNemar(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 || res.Significant(0.05) {
+		t.Errorf("identical models: %+v", res)
+	}
+}
+
+func TestMcNemarErrors(t *testing.T) {
+	a := reportWith("A", make([]bool, 5))
+	b := reportWith("B", make([]bool, 6))
+	if _, err := McNemar(a, b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	c := reportWith("C", make([]bool, 5))
+	c.Results[0].QuestionID = "zz9"
+	if _, err := McNemar(a, c); err == nil {
+		t.Error("mismatched question IDs accepted")
+	}
+}
+
+func TestMcNemarSymmetry(t *testing.T) {
+	aCorrect := []bool{true, false, true, false, true, true, false, false}
+	bCorrect := []bool{false, true, true, false, true, false, true, false}
+	a := reportWith("A", aCorrect)
+	b := reportWith("B", bCorrect)
+	ab, _ := McNemar(a, b)
+	ba, _ := McNemar(b, a)
+	if ab.OnlyA != ba.OnlyB || ab.OnlyB != ba.OnlyA {
+		t.Error("discordant counts not symmetric")
+	}
+	if math.Abs(ab.PValue-ba.PValue) > 1e-12 {
+		t.Error("p-value not symmetric")
+	}
+}

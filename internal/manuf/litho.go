@@ -1,0 +1,121 @@
+package manuf
+
+import (
+	"fmt"
+	"math"
+)
+
+// LithoSystem is a projection lithography configuration.
+type LithoSystem struct {
+	WavelengthNM float64 // exposure wavelength
+	NA           float64 // numerical aperture
+	K1           float64 // process factor (Rayleigh k1)
+	K2           float64 // depth-of-focus factor
+}
+
+// ArF returns a 193 nm immersion-class scanner configuration.
+func ArF() LithoSystem {
+	return LithoSystem{WavelengthNM: 193, NA: 1.35, K1: 0.3, K2: 0.5}
+}
+
+// KrF returns a 248 nm scanner configuration.
+func KrF() LithoSystem {
+	return LithoSystem{WavelengthNM: 248, NA: 0.8, K1: 0.4, K2: 0.5}
+}
+
+// EUV returns a 13.5 nm scanner configuration.
+func EUV() LithoSystem {
+	return LithoSystem{WavelengthNM: 13.5, NA: 0.33, K1: 0.4, K2: 0.5}
+}
+
+// Resolution returns the Rayleigh minimum half-pitch: k1 * lambda / NA.
+func (l LithoSystem) Resolution() float64 {
+	if l.NA == 0 {
+		return math.Inf(1)
+	}
+	return l.K1 * l.WavelengthNM / l.NA
+}
+
+// DepthOfFocus returns k2 * lambda / NA^2.
+func (l LithoSystem) DepthOfFocus() float64 {
+	if l.NA == 0 {
+		return math.Inf(1)
+	}
+	return l.K2 * l.WavelengthNM / (l.NA * l.NA)
+}
+
+// String renders the configuration.
+func (l LithoSystem) String() string {
+	return fmt.Sprintf("lambda=%.1f nm, NA=%.2f, k1=%.2f", l.WavelengthNM, l.NA, l.K1)
+}
+
+// RET enumerates resolution-enhancement techniques — the subject of the
+// paper's own Manufacture sample question ("What is the lithography
+// resolution enhancement technique depicted in the figure?").
+type RET int
+
+// Resolution enhancement techniques.
+const (
+	OPC RET = iota // optical proximity correction
+	PSM            // phase-shift mask
+	SMO            // source-mask optimisation
+	OAI            // off-axis illumination
+	MPT            // multiple patterning
+)
+
+// String names the technique.
+func (r RET) String() string {
+	switch r {
+	case OPC:
+		return "optical proximity correction (OPC)"
+	case PSM:
+		return "phase-shift mask (PSM)"
+	case SMO:
+		return "source-mask optimization (SMO)"
+	case OAI:
+		return "off-axis illumination (OAI)"
+	case MPT:
+		return "multiple patterning"
+	default:
+		return fmt.Sprintf("RET(%d)", int(r))
+	}
+}
+
+// Signature describes the visual signature each technique leaves on a
+// mask or illumination figure, used to build recognition questions.
+func (r RET) Signature() string {
+	switch r {
+	case OPC:
+		return "mask polygons decorated with serifs, hammerheads and jogs around the drawn shape"
+	case PSM:
+		return "alternating mask openings marked with 0 and 180 degree phase regions"
+	case SMO:
+		return "a freeform pixelated illumination source co-optimised with the mask"
+	case OAI:
+		return "an annular or quadrupole illumination pupil instead of a disk"
+	case MPT:
+		return "one dense layer decomposed into two interleaved masks (colored A/B)"
+	default:
+		return ""
+	}
+}
+
+// PitchSplit returns how many exposures multiple patterning needs to
+// print a target pitch on a system with the given single-exposure pitch
+// limit.
+func PitchSplit(targetPitch, singleExposurePitch float64) int {
+	if targetPitch >= singleExposurePitch {
+		return 1
+	}
+	n := int(math.Ceil(singleExposurePitch / targetPitch))
+	return n
+}
+
+// MaskErrorFactor returns the wafer CD change for a mask CD change given
+// the MEEF value and magnification.
+func MaskErrorFactor(maskDeltaNM, meef, magnification float64) float64 {
+	if magnification == 0 {
+		magnification = 4
+	}
+	return meef * maskDeltaNM / magnification
+}

@@ -1,0 +1,116 @@
+package phys
+
+import "fmt"
+
+// Rect is an axis-aligned layout rectangle on a named layer.
+type Rect struct {
+	Name   string
+	Layer  string
+	X0, Y0 int
+	X1, Y1 int
+}
+
+// Width returns the smaller dimension (the DRC "width" of a shape).
+func (r Rect) Width() int {
+	w := r.X1 - r.X0
+	h := r.Y1 - r.Y0
+	if w < h {
+		return w
+	}
+	return h
+}
+
+// Spacing returns the rectilinear gap between two rectangles (0 when they
+// touch or overlap).
+func Spacing(a, b Rect) int {
+	dx := gap(a.X0, a.X1, b.X0, b.X1)
+	dy := gap(a.Y0, a.Y1, b.Y0, b.Y1)
+	switch {
+	case dx > 0 && dy > 0:
+		// Diagonal: euclidean rules vary; rectilinear DRC uses the max
+		// of the two gaps as the corner-to-corner spacing proxy.
+		if dx > dy {
+			return dx
+		}
+		return dy
+	case dx > 0:
+		return dx
+	case dy > 0:
+		return dy
+	default:
+		return 0
+	}
+}
+
+func gap(a0, a1, b0, b1 int) int {
+	switch {
+	case b0 >= a1:
+		return b0 - a1
+	case a0 >= b1:
+		return a0 - b1
+	default:
+		return 0
+	}
+}
+
+// Overlaps reports whether two rectangles overlap (shared area > 0).
+func Overlaps(a, b Rect) bool {
+	return a.X0 < b.X1 && b.X0 < a.X1 && a.Y0 < b.Y1 && b.Y0 < a.Y1
+}
+
+// DRCRule holds minimum width and spacing per layer.
+type DRCRule struct {
+	MinWidth   int
+	MinSpacing int
+}
+
+// Violation describes one design-rule violation.
+type Violation struct {
+	Kind  string // "width" or "spacing"
+	A, B  string // shape names (B empty for width violations)
+	Layer string
+	Value int // measured value
+	Limit int
+}
+
+// String renders the violation like a DRC report line.
+func (v Violation) String() string {
+	if v.Kind == "width" {
+		return fmt.Sprintf("width violation: %s on %s is %d < %d", v.A, v.Layer, v.Value, v.Limit)
+	}
+	return fmt.Sprintf("spacing violation: %s-%s on %s is %d < %d", v.A, v.B, v.Layer, v.Value, v.Limit)
+}
+
+// CheckDRC runs width and same-layer spacing checks over the shapes.
+func CheckDRC(shapes []Rect, rules map[string]DRCRule) []Violation {
+	var out []Violation
+	for _, s := range shapes {
+		rule, ok := rules[s.Layer]
+		if !ok {
+			continue
+		}
+		if w := s.Width(); w < rule.MinWidth {
+			out = append(out, Violation{Kind: "width", A: s.Name, Layer: s.Layer, Value: w, Limit: rule.MinWidth})
+		}
+	}
+	for i := 0; i < len(shapes); i++ {
+		for j := i + 1; j < len(shapes); j++ {
+			a, b := shapes[i], shapes[j]
+			if a.Layer != b.Layer {
+				continue
+			}
+			rule, ok := rules[a.Layer]
+			if !ok {
+				continue
+			}
+			if Overlaps(a, b) {
+				continue // same-net merge assumed
+			}
+			if sp := Spacing(a, b); sp < rule.MinSpacing {
+				out = append(out, Violation{Kind: "spacing", A: a.Name, B: b.Name,
+					Layer: a.Layer, Value: sp, Limit: rule.MinSpacing})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package phys
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cell is a standard cell to legalise: a desired x position, a width and
+// a name. Rows are one unit tall; this legaliser works one row at a time.
+type Cell struct {
+	Name  string
+	X     float64 // desired (global-placement) position
+	Width float64
+}
+
+// LegalizeRow places the cells into one row of the given width with no
+// overlaps, greedily in left-to-right desired order (the Tetris/Abacus
+// style), returning the final positions and the total displacement.
+func LegalizeRow(cells []Cell, rowWidth float64) (map[string]float64, float64, error) {
+	total := 0.0
+	for _, c := range cells {
+		total += c.Width
+	}
+	if total > rowWidth {
+		return nil, 0, fmt.Errorf("phys: cells need %.1f units but row is %.1f", total, rowWidth)
+	}
+	order := make([]Cell, len(cells))
+	copy(order, cells)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].X < order[j].X })
+	pos := make(map[string]float64, len(cells))
+	cursor := 0.0
+	disp := 0.0
+	for i, c := range order {
+		x := c.X
+		if x < cursor {
+			x = cursor
+		}
+		// Clamp so the remaining cells still fit.
+		remaining := 0.0
+		for _, r := range order[i+1:] {
+			remaining += r.Width
+		}
+		if x+c.Width+remaining > rowWidth {
+			x = rowWidth - remaining - c.Width
+		}
+		if x < cursor {
+			x = cursor
+		}
+		pos[c.Name] = x
+		disp += absFloat(x - c.X)
+		cursor = x + c.Width
+	}
+	return pos, disp, nil
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// RowUtilization returns placed area over row capacity.
+func RowUtilization(cells []Cell, rowWidth float64) float64 {
+	total := 0.0
+	for _, c := range cells {
+		total += c.Width
+	}
+	if rowWidth == 0 {
+		return 0
+	}
+	return total / rowWidth
+}
+
+// PinAccessTracks reports how many routing tracks a standard cell of the
+// given height (in tracks) leaves for pin access after power rails
+// consume railTracks top and bottom.
+func PinAccessTracks(cellHeightTracks, railTracks int) int {
+	free := cellHeightTracks - 2*railTracks
+	if free < 0 {
+		return 0
+	}
+	return free
+}

@@ -1,0 +1,49 @@
+// Package rng provides deterministic, stream-isolated randomness.
+//
+// Every stochastic decision in the reproduction — question parameter
+// variation, simulated perception noise, knowledge gates, multiple-choice
+// fallback guesses — draws from a PCG stream seeded by an FNV-1a hash of
+// descriptive string parts (model name, question ID, stage). Runs are
+// therefore bit-reproducible, mirroring the paper's temperature=0.1
+// near-deterministic inference setting.
+package rng
+
+import (
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Seed hashes the parts into a 64-bit seed.
+func Seed(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p))
+		_, _ = h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// New returns a deterministic generator for the given stream identity.
+func New(parts ...string) *rand.Rand {
+	s := Seed(parts...)
+	return rand.New(rand.NewPCG(s, s^0x9e3779b97f4a7c15))
+}
+
+// Bernoulli draws a biased coin from a dedicated stream.
+func Bernoulli(p float64, parts ...string) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return New(parts...).Float64() < p
+}
+
+// Pick returns a deterministic index in [0, n).
+func Pick(n int, parts ...string) int {
+	if n <= 1 {
+		return 0
+	}
+	return New(parts...).IntN(n)
+}

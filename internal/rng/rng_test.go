@@ -1,0 +1,78 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New("model", "q1", "stage")
+	b := New("model", "q1", "stage")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed parts produced different streams")
+		}
+	}
+}
+
+func TestStreamIsolation(t *testing.T) {
+	// Different part lists must give different streams (with
+	// overwhelming probability).
+	a := New("model", "q1")
+	b := New("model", "q2")
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams suspiciously correlated: %d/20 equal", same)
+	}
+	// Concatenation ambiguity is prevented by separators:
+	// ("ab", "c") != ("a", "bc").
+	if Seed("ab", "c") == Seed("a", "bc") {
+		t.Error("seed parts not separated")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	if Bernoulli(0, "x") {
+		t.Error("p=0 fired")
+	}
+	if !Bernoulli(1, "x") {
+		t.Error("p=1 did not fire")
+	}
+	// Deterministic per stream.
+	if Bernoulli(0.5, "a", "b") != Bernoulli(0.5, "a", "b") {
+		t.Error("bernoulli not deterministic")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if Bernoulli(0.3, "freq", string(rune(i))) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("empirical rate %v for p=0.3", rate)
+	}
+}
+
+func TestQuickPickInRange(t *testing.T) {
+	f := func(nRaw uint8, key string) bool {
+		n := int(nRaw%20) + 1
+		p := Pick(n, key)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Pick(0, "x") != 0 || Pick(1, "x") != 0 {
+		t.Error("degenerate Pick")
+	}
+}

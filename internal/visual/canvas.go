@@ -1,0 +1,306 @@
+package visual
+
+import (
+	"image"
+	"image/color"
+	"math"
+)
+
+// Canvas is a simple raster drawing surface backed by an RGBA image.
+// It provides the primitives the scene renderers need: lines, rectangles,
+// circles, arcs and bitmap text. Everything is drawn in device pixels.
+type Canvas struct {
+	img *image.RGBA
+}
+
+// Standard drawing colors used by the renderers.
+var (
+	ColorBlack = color.RGBA{0, 0, 0, 255}
+	ColorWhite = color.RGBA{255, 255, 255, 255}
+	ColorGray  = color.RGBA{128, 128, 128, 255}
+	ColorRed   = color.RGBA{200, 30, 30, 255}
+	ColorBlue  = color.RGBA{30, 60, 200, 255}
+	ColorGreen = color.RGBA{20, 140, 60, 255}
+
+	// Layer colors for layout rendering, indexed by layer name.
+	layerColors = map[string]color.RGBA{
+		"diffusion": {60, 160, 60, 255},
+		"poly":      {200, 60, 60, 255},
+		"metal1":    {60, 90, 200, 255},
+		"metal2":    {170, 80, 200, 255},
+		"contact":   {40, 40, 40, 255},
+		"nwell":     {220, 210, 120, 255},
+		"via":       {90, 90, 90, 255},
+		"macro":     {150, 150, 180, 255},
+		"cell":      {120, 170, 210, 255},
+		"blockage":  {220, 120, 120, 255},
+	}
+)
+
+// NewCanvas returns a white canvas of the given size. Width and height
+// are clamped to at least 1 pixel.
+func NewCanvas(w, h int) *Canvas {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	c := &Canvas{img: img}
+	c.Fill(ColorWhite)
+	return c
+}
+
+// Image exposes the underlying RGBA image.
+func (c *Canvas) Image() *image.RGBA { return c.img }
+
+// Size returns the canvas dimensions.
+func (c *Canvas) Size() (w, h int) {
+	b := c.img.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+// Fill paints the whole canvas with a color.
+func (c *Canvas) Fill(col color.RGBA) {
+	b := c.img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			c.img.SetRGBA(x, y, col)
+		}
+	}
+}
+
+// Set paints one pixel, ignoring out-of-bounds coordinates.
+func (c *Canvas) Set(x, y int, col color.RGBA) {
+	if image.Pt(x, y).In(c.img.Bounds()) {
+		c.img.SetRGBA(x, y, col)
+	}
+}
+
+// Line draws a 1-pixel line with Bresenham's algorithm.
+func (c *Canvas) Line(x0, y0, x1, y1 int, col color.RGBA) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx := sign(x1 - x0)
+	sy := sign(y1 - y0)
+	err := dx + dy
+	for {
+		c.Set(x0, y0, col)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// ThickLine draws a line of the given pixel thickness.
+func (c *Canvas) ThickLine(x0, y0, x1, y1, thickness int, col color.RGBA) {
+	if thickness <= 1 {
+		c.Line(x0, y0, x1, y1, col)
+		return
+	}
+	// Offset perpendicular to the line direction.
+	ang := math.Atan2(float64(y1-y0), float64(x1-x0)) + math.Pi/2
+	for t := 0; t < thickness; t++ {
+		off := float64(t) - float64(thickness-1)/2
+		ox := int(math.Round(off * math.Cos(ang)))
+		oy := int(math.Round(off * math.Sin(ang)))
+		c.Line(x0+ox, y0+oy, x1+ox, y1+oy, col)
+	}
+}
+
+// Rect draws the outline of a rectangle.
+func (c *Canvas) Rect(x0, y0, x1, y1 int, col color.RGBA) {
+	x0, x1 = ordered(x0, x1)
+	y0, y1 = ordered(y0, y1)
+	c.Line(x0, y0, x1, y0, col)
+	c.Line(x1, y0, x1, y1, col)
+	c.Line(x1, y1, x0, y1, col)
+	c.Line(x0, y1, x0, y0, col)
+}
+
+// FillRect paints a filled rectangle.
+func (c *Canvas) FillRect(x0, y0, x1, y1 int, col color.RGBA) {
+	x0, x1 = ordered(x0, x1)
+	y0, y1 = ordered(y0, y1)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			c.Set(x, y, col)
+		}
+	}
+}
+
+// Circle draws a circle outline with the midpoint algorithm.
+func (c *Canvas) Circle(cx, cy, r int, col color.RGBA) {
+	if r <= 0 {
+		c.Set(cx, cy, col)
+		return
+	}
+	x, y := r, 0
+	err := 1 - r
+	for x >= y {
+		c.Set(cx+x, cy+y, col)
+		c.Set(cx+y, cy+x, col)
+		c.Set(cx-y, cy+x, col)
+		c.Set(cx-x, cy+y, col)
+		c.Set(cx-x, cy-y, col)
+		c.Set(cx-y, cy-x, col)
+		c.Set(cx+y, cy-x, col)
+		c.Set(cx+x, cy-y, col)
+		y++
+		if err < 0 {
+			err += 2*y + 1
+		} else {
+			x--
+			err += 2*(y-x) + 1
+		}
+	}
+}
+
+// FillCircle paints a filled circle.
+func (c *Canvas) FillCircle(cx, cy, r int, col color.RGBA) {
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				c.Set(cx+dx, cy+dy, col)
+			}
+		}
+	}
+}
+
+// Arc draws a circular arc from a0 to a1 radians (counterclockwise in
+// canvas coordinates, i.e. y grows downward).
+func (c *Canvas) Arc(cx, cy, r int, a0, a1 float64, col color.RGBA) {
+	if a1 < a0 {
+		a0, a1 = a1, a0
+	}
+	steps := int(float64(r)*(a1-a0)) + 8
+	for i := 0; i <= steps; i++ {
+		a := a0 + (a1-a0)*float64(i)/float64(steps)
+		x := cx + int(math.Round(float64(r)*math.Cos(a)))
+		y := cy + int(math.Round(float64(r)*math.Sin(a)))
+		c.Set(x, y, col)
+	}
+}
+
+// Polyline draws connected line segments through the points.
+func (c *Canvas) Polyline(pts []Point, col color.RGBA) {
+	for i := 1; i < len(pts); i++ {
+		c.Line(int(pts[i-1].X), int(pts[i-1].Y), int(pts[i].X), int(pts[i].Y), col)
+	}
+}
+
+// Arrow draws a line with an arrowhead at the destination.
+func (c *Canvas) Arrow(x0, y0, x1, y1 int, col color.RGBA) {
+	c.Line(x0, y0, x1, y1, col)
+	ang := math.Atan2(float64(y1-y0), float64(x1-x0))
+	const headLen = 8.0
+	const headAng = 0.45
+	for _, s := range []float64{+1, -1} {
+		hx := float64(x1) - headLen*math.Cos(ang+s*headAng)
+		hy := float64(y1) - headLen*math.Sin(ang+s*headAng)
+		c.Line(x1, y1, int(math.Round(hx)), int(math.Round(hy)), col)
+	}
+}
+
+// Text draws a string at (x, y) using the embedded 5x7 bitmap font at the
+// given integer scale (1 = 5x7 pixels per glyph).
+func (c *Canvas) Text(x, y int, s string, scale int, col color.RGBA) {
+	if scale < 1 {
+		scale = 1
+	}
+	cx := x
+	for _, r := range s {
+		if r == '\n' {
+			y += (glyphH + 2) * scale
+			cx = x
+			continue
+		}
+		c.glyph(cx, y, r, scale, col)
+		cx += (glyphW + 1) * scale
+	}
+}
+
+// TextWidth reports the pixel width of a string drawn at the given scale.
+func TextWidth(s string, scale int) int {
+	if scale < 1 {
+		scale = 1
+	}
+	max, cur := 0, 0
+	for _, r := range s {
+		if r == '\n' {
+			if cur > max {
+				max = cur
+			}
+			cur = 0
+			continue
+		}
+		cur += (glyphW + 1) * scale
+	}
+	if cur > max {
+		max = cur
+	}
+	return max
+}
+
+func (c *Canvas) glyph(x, y int, r rune, scale int, col color.RGBA) {
+	g, ok := font5x7[r]
+	if !ok {
+		g = font5x7['?']
+	}
+	for row := 0; row < glyphH; row++ {
+		bits := g[row]
+		for colIdx := 0; colIdx < glyphW; colIdx++ {
+			if bits&(1<<(glyphW-1-colIdx)) != 0 {
+				for sy := 0; sy < scale; sy++ {
+					for sx := 0; sx < scale; sx++ {
+						c.Set(x+colIdx*scale+sx, y+row*scale+sy, col)
+					}
+				}
+			}
+		}
+	}
+}
+
+// LayerColor returns the render color for a layout layer name, defaulting
+// to gray for unknown layers.
+func LayerColor(layer string) color.RGBA {
+	if c, ok := layerColors[layer]; ok {
+		return c
+	}
+	return ColorGray
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func ordered(a, b int) (int, int) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

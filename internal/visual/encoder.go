@@ -1,0 +1,93 @@
+package visual
+
+import (
+	"image"
+	"math"
+)
+
+// PatchFeatures is the output of the visual encoder stage of the Fig. 2
+// VLM pipeline: one feature vector per image patch, in row-major order.
+type PatchFeatures struct {
+	PatchesX int
+	PatchesY int
+	Dim      int
+	Vectors  [][]float64
+}
+
+// EncodePatches splits the image into a grid of patchSize x patchSize
+// patches and extracts a small hand-crafted feature vector per patch:
+// mean luminance, luminance variance, horizontal and vertical edge
+// energy, and ink density (fraction of non-background pixels). This is
+// the ViT-style front end of the simulated VLM; the projector stage in
+// internal/vlm turns these into token-space summaries.
+func EncodePatches(img *image.RGBA, patchSize int) *PatchFeatures {
+	if patchSize < 1 {
+		patchSize = 16
+	}
+	b := img.Bounds()
+	px := (b.Dx() + patchSize - 1) / patchSize
+	py := (b.Dy() + patchSize - 1) / patchSize
+	const dim = 5
+	f := &PatchFeatures{PatchesX: px, PatchesY: py, Dim: dim}
+	f.Vectors = make([][]float64, 0, px*py)
+	for gy := 0; gy < py; gy++ {
+		for gx := 0; gx < px; gx++ {
+			f.Vectors = append(f.Vectors, patchVector(img, b, gx*patchSize, gy*patchSize, patchSize))
+		}
+	}
+	return f
+}
+
+func patchVector(img *image.RGBA, b image.Rectangle, x0, y0, size int) []float64 {
+	var sum, sumSq, edgeH, edgeV, ink float64
+	var n float64
+	lum := func(x, y int) float64 {
+		i := img.PixOffset(b.Min.X+x, b.Min.Y+y)
+		return 0.299*float64(img.Pix[i]) + 0.587*float64(img.Pix[i+1]) + 0.114*float64(img.Pix[i+2])
+	}
+	for dy := 0; dy < size; dy++ {
+		for dx := 0; dx < size; dx++ {
+			x, y := x0+dx, y0+dy
+			if x >= b.Dx() || y >= b.Dy() {
+				continue
+			}
+			l := lum(x, y)
+			sum += l
+			sumSq += l * l
+			if l < 200 {
+				ink++
+			}
+			if x+1 < b.Dx() {
+				edgeH += math.Abs(lum(x+1, y) - l)
+			}
+			if y+1 < b.Dy() {
+				edgeV += math.Abs(lum(x, y+1) - l)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return []float64{255, 0, 0, 0, 0}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return []float64{mean, math.Sqrt(variance), edgeH / n, edgeV / n, ink / n}
+}
+
+// InkFraction reports the fraction of patches that contain any drawn
+// content — a cheap global complexity signal the projector can use.
+func (f *PatchFeatures) InkFraction() float64 {
+	if len(f.Vectors) == 0 {
+		return 0
+	}
+	var inked int
+	for _, v := range f.Vectors {
+		if v[4] > 0.01 {
+			inked++
+		}
+	}
+	return float64(inked) / float64(len(f.Vectors))
+}

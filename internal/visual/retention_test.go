@@ -1,0 +1,52 @@
+package visual
+
+import "testing"
+
+func TestDetailRetentionOrdering(t *testing.T) {
+	// On a rendered scene with text annotations, retention must fall
+	// monotonically with the downsampling factor — the pixel-level
+	// ground truth behind LegibilityLoss.
+	s := sampleScene(KindSchematic)
+	for i := 0; i < 6; i++ {
+		s.Add(Element{Type: ElemValue, Name: nameN("v", i),
+			Label: "R=2.2k C=100n gm=4m", X: 60, Y: float64(330 + 18*i)})
+	}
+	img := Render(s)
+	r1 := DetailRetention(img, Downsample(img, 1))
+	r8 := DetailRetention(img, Downsample(img, 8))
+	r16 := DetailRetention(img, Downsample(img, 16))
+	if r1 < 0.99 {
+		t.Errorf("retention at 1x = %v, want ~1", r1)
+	}
+	if !(r8 > r16) {
+		t.Errorf("retention should fall with factor: 8x %v vs 16x %v", r8, r16)
+	}
+	if r16 > 0.95 {
+		t.Errorf("16x retention %v suspiciously high for a text-heavy figure", r16)
+	}
+}
+
+func nameN(p string, i int) string { return p + string(rune('0'+i)) }
+
+func TestDetailRetentionAgreesWithLegibilityLoss(t *testing.T) {
+	// The analytic model and the pixel measurement must agree in
+	// ordering: higher modelled loss at 16x than at 8x corresponds to
+	// lower measured retention at 16x than at 8x.
+	s := sampleScene(KindSchematic)
+	img := Render(s)
+	measured8 := DetailRetention(img, Downsample(img, 8))
+	measured16 := DetailRetention(img, Downsample(img, 16))
+	modelled8 := LegibilityLoss(8, 0.65)
+	modelled16 := LegibilityLoss(16, 0.65)
+	if (modelled16 > modelled8) != (measured16 < measured8) {
+		t.Errorf("model and measurement disagree: loss %v->%v, retention %v->%v",
+			modelled8, modelled16, measured8, measured16)
+	}
+}
+
+func TestDetailRetentionBlank(t *testing.T) {
+	blank := NewCanvas(64, 64).Image()
+	if r := DetailRetention(blank, Downsample(blank, 8)); r != 1 {
+		t.Errorf("blank image retention %v, want 1 (nothing to lose)", r)
+	}
+}
