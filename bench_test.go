@@ -47,6 +47,53 @@ func BenchmarkTableIIWithChoice(b *testing.B) {
 	}
 }
 
+// E2b — the same Table II sweep pinned to the serial engine: the
+// baseline the parallel engine is measured against.
+func BenchmarkTableIISerial(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	suite.Workers = 1
+	models := suite.ModelNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range models {
+			if _, err := suite.Evaluate(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E2c — the identical sweep on the pooled engine at GOMAXPROCS
+// workers. Compare against BenchmarkTableIISerial for the speedup; the
+// equivalence test proves the reports are byte-identical.
+func BenchmarkTableIIParallel(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	suite.Workers = -1 // auto: GOMAXPROCS
+	models := suite.ModelNames()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range models {
+			if _, err := suite.Evaluate(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// E2d — the full 12x142 (model, question) grid as one flattened task
+// list on the pooled engine: the shape TableII actually runs.
+func BenchmarkTableIIGrid(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	suite.Workers = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		with, _ := suite.TableII()
+		if len(with) != 12 {
+			b.Fatal("short report set")
+		}
+	}
+}
+
 // E3 — Table II (right): challenge collection (options removed).
 func BenchmarkTableIINoChoice(b *testing.B) {
 	suite := chipvqa.MustNewSuite()
@@ -427,6 +474,36 @@ func BenchmarkRenderPipeline(b *testing.B) {
 		img := visual.Render(q.Visual)
 		small := visual.Downsample(img, 8)
 		_ = visual.EncodePatches(small, 16)
+	}
+}
+
+// The same pipeline through the scene cache: after the first iteration
+// every render and downsample is a lookup. The gap to
+// BenchmarkRenderPipeline is the per-question win the evaluation engine
+// gets on repeated sweeps.
+func BenchmarkRenderPipelineCached(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	q := suite.Benchmark.Questions[0]
+	cache := visual.NewSceneCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		small := cache.Downsampled(q.Visual, 8)
+		_ = visual.EncodePatches(small, 16)
+	}
+}
+
+// §IV-B sweep at 16x with the scene cache shared across models: the
+// per-scene legibility tables are derived once, not 12 times.
+func BenchmarkResolutionSweepAllModels(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	suite.Workers = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range suite.ModelNames() {
+			if _, err := suite.EvaluateAtResolution(name, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

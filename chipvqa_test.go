@@ -89,6 +89,84 @@ func TestSuiteResolution(t *testing.T) {
 	}
 }
 
+// TestTableIIDeterministicAcrossWorkers is the engine's equivalence
+// guarantee: a serial run and a Workers=8 run of the full Table II sweep
+// (12 models, both collections) must produce identical reports — same
+// question order, same responses, same correctness, for every model.
+func TestTableIIDeterministicAcrossWorkers(t *testing.T) {
+	serial := chipvqa.MustNewSuite()
+	serial.Workers = 1
+	parallel := chipvqa.MustNewSuite()
+	parallel.Workers = 8
+
+	sWith, sWithout := serial.TableII()
+	pWith, pWithout := parallel.TableII()
+	compare := func(kind string, a, b []*chipvqa.Report) {
+		t.Helper()
+		if len(a) != 12 || len(b) != 12 {
+			t.Fatalf("%s: report counts %d/%d, want 12", kind, len(a), len(b))
+		}
+		for mi := range a {
+			if a[mi].ModelName != b[mi].ModelName {
+				t.Fatalf("%s: model order differs at %d: %s vs %s",
+					kind, mi, a[mi].ModelName, b[mi].ModelName)
+			}
+			if len(a[mi].Results) != len(b[mi].Results) {
+				t.Fatalf("%s %s: result counts differ", kind, a[mi].ModelName)
+			}
+			for qi := range a[mi].Results {
+				if a[mi].Results[qi] != b[mi].Results[qi] {
+					t.Errorf("%s %s question %d: serial %+v != parallel %+v",
+						kind, a[mi].ModelName, qi, a[mi].Results[qi], b[mi].Results[qi])
+				}
+			}
+		}
+	}
+	compare("with-choice", sWith, pWith)
+	compare("no-choice", sWithout, pWithout)
+}
+
+// The resolution path exercises the perception rng and the scene cache;
+// it must be deterministic across worker counts too.
+func TestResolutionDeterministicAcrossWorkers(t *testing.T) {
+	serial := chipvqa.MustNewSuite()
+	serial.Workers = 1
+	parallel := chipvqa.MustNewSuite()
+	parallel.Workers = 8
+	a, err := serial.EvaluateAtResolution("GPT4o", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.EvaluateAtResolution("GPT4o", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+}
+
+func TestRenderCacheObservability(t *testing.T) {
+	chipvqa.ResetRenderCache()
+	suite := chipvqa.MustNewSuite()
+	q := suite.Benchmark.Questions[0]
+	_ = chipvqa.RenderQuestion(q, 8)
+	_ = chipvqa.RenderQuestion(q, 8)
+	st := chipvqa.RenderCacheStats()
+	if st.Misses == 0 {
+		t.Error("first render should miss")
+	}
+	if st.Hits == 0 {
+		t.Error("second render should hit")
+	}
+	chipvqa.ResetRenderCache()
+	if st := chipvqa.RenderCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats after reset: %+v", st)
+	}
+}
+
 func TestSuiteAgent(t *testing.T) {
 	suite := chipvqa.MustNewSuite()
 	ag, err := suite.NewAgent("GPT4o")

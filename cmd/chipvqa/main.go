@@ -14,11 +14,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"image/png"
 	"os"
 	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/agent"
@@ -59,6 +63,8 @@ func main() {
 		err = cmdItems(args)
 	case "finetune":
 		err = cmdFineTune(args)
+	case "bench":
+		err = cmdBench(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -87,7 +93,16 @@ commands:
   extended     generate an extended collection (-seed, -n per category, -o file)
   compare      paired McNemar test + bootstrap CIs between two models (-a, -b)
   finetune     domain-adaptation learning-curve study (-model)
-  items        per-question difficulty and discrimination analysis (-k, -challenge)`)
+  items        per-question difficulty and discrimination analysis (-k, -challenge)
+  bench        time the evaluation engine and write a perf snapshot (-o file)
+
+evaluation commands take -workers N: 0 = auto (GOMAXPROCS), 1 = serial.`)
+}
+
+// workersFlag registers the shared -workers knob: 0 (default) lets the
+// engine pick GOMAXPROCS, 1 forces serial, N pins the pool size.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "evaluation workers (0 = auto/GOMAXPROCS, 1 = serial)")
 }
 
 func cmdStats(args []string) error {
@@ -111,6 +126,7 @@ func cmdStats(args []string) error {
 func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	gap := fs.Bool("gap", false, "print per-model MC-vs-SA gap instead of the full table")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +134,7 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
+	suite.Workers = *workers
 	with, without := suite.TableII()
 	if *gap {
 		fmt.Printf("%-20s %8s %8s %8s\n", "Model", "w/ MC", "w/o MC", "gap")
@@ -133,10 +150,16 @@ func cmdEval(args []string) error {
 }
 
 func cmdChallenge(args []string) error {
+	fs := flag.NewFlagSet("challenge", flag.ExitOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	suite, err := chipvqa.NewSuite()
 	if err != nil {
 		return err
 	}
+	suite.Workers = *workers
 	var reports []*chipvqa.Report
 	for _, name := range suite.ModelNames() {
 		rep, err := suite.EvaluateChallenge(name)
@@ -151,10 +174,16 @@ func cmdChallenge(args []string) error {
 }
 
 func cmdAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	suite, err := chipvqa.NewSuite()
 	if err != nil {
 		return err
 	}
+	suite.Workers = *workers
 	vals, err := suite.TableIII()
 	if err != nil {
 		return err
@@ -172,6 +201,7 @@ func cmdResolution(args []string) error {
 	fs := flag.NewFlagSet("resolution", flag.ExitOnError)
 	model := fs.String("model", "GPT4o", "model to evaluate")
 	category := fs.String("category", "Digital", "category (short name) or 'all'")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,7 +223,10 @@ func cmdResolution(args []string) error {
 	fmt.Printf("Resolution study (§IV-B): model=%s category=%s (%d questions)\n",
 		*model, *category, len(questions))
 	for _, f := range []int{1, 8, 16} {
-		r := eval.Runner{Opts: eval.InferenceOptions{DownsampleFactor: f}}
+		r := eval.Runner{Opts: eval.InferenceOptions{DownsampleFactor: f}, Workers: *workers}
+		if *workers == 0 {
+			r.Workers = -1 // auto
+		}
 		rep := r.Evaluate(m, sub)
 		fmt.Printf("  downsample %2dx: Pass@1 = %.2f\n", f, rep.Pass1())
 	}
@@ -323,6 +356,7 @@ func cmdExtended(args []string) error {
 	n := fs.Int("n", 10, "questions per category")
 	out := fs.String("o", "", "optional JSON output file")
 	evalModels := fs.Bool("eval", false, "also evaluate all models on the extended collection")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -349,16 +383,19 @@ func cmdExtended(args []string) error {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *evalModels {
-		var reports []*chipvqa.Report
-		r := eval.Runner{}
+		r := eval.Runner{Workers: *workers}
+		if *workers == 0 {
+			r.Workers = -1 // auto
+		}
+		var models []chipvqa.Model
 		for _, name := range suite.ModelNames() {
 			m, err := suite.Model(name)
 			if err != nil {
 				return err
 			}
-			reports = append(reports, r.Evaluate(m, ext))
+			models = append(models, m)
 		}
-		fmt.Print(chipvqa.FormatTableII(reports, nil))
+		fmt.Print(chipvqa.FormatTableII(r.EvaluateAll(models, ext), nil))
 	}
 	return nil
 }
@@ -367,6 +404,7 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	a := fs.String("a", "GPT4o", "first model")
 	b := fs.String("b", "LLaMA-3.2-90B", "second model")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -374,6 +412,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
+	suite.Workers = *workers
 	res, cis, err := suite.Compare(*a, *b)
 	if err != nil {
 		return err
@@ -429,6 +468,7 @@ func cmdItems(args []string) error {
 	fs := flag.NewFlagSet("items", flag.ExitOnError)
 	k := fs.Int("k", 10, "how many hardest items to list")
 	challenge := fs.Bool("challenge", false, "analyse the challenge collection instead")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -440,19 +480,150 @@ func cmdItems(args []string) error {
 	if *challenge {
 		bench = suite.ChallengeSet
 	}
-	r := eval.Runner{}
-	var reports []*chipvqa.Report
+	r := eval.Runner{Workers: *workers}
+	if *workers == 0 {
+		r.Workers = -1 // auto
+	}
+	var models []chipvqa.Model
 	for _, name := range suite.ModelNames() {
 		m, err := suite.Model(name)
 		if err != nil {
 			return err
 		}
-		reports = append(reports, r.Evaluate(m, bench))
+		models = append(models, m)
 	}
+	reports := r.EvaluateAll(models, bench)
 	items, err := eval.ItemAnalysis(reports)
 	if err != nil {
 		return err
 	}
 	fmt.Print(eval.FormatItemReport(items, *k))
+	return nil
+}
+
+// benchSnapshot is the schema of the repo's recorded perf trajectory
+// (BENCH_1.json and successors): wall time of the headline Table II
+// sweep under the serial and parallel engines, the cached render path,
+// and the scene-cache effectiveness counters.
+type benchSnapshot struct {
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// Table II standard collection: 12 models x 142 questions.
+	TableIISerialNsPerOp   int64   `json:"table_ii_serial_ns_per_op"`
+	TableIIParallelNsPerOp int64   `json:"table_ii_parallel_ns_per_op"`
+	TableIISpeedup         float64 `json:"table_ii_speedup"`
+
+	// §IV-B-style 16x resolution pass over the full collection: cold is
+	// the first pass after a cache reset (pays every scene derivation),
+	// warm is the steady state.
+	Resolution16ColdNs      int64 `json:"resolution16_cold_ns"`
+	Resolution16WarmNsPerOp int64 `json:"resolution16_warm_ns_per_op"`
+
+	// Rendering every question at 8x through the scene cache.
+	RenderAll8xWarmNsPerOp int64 `json:"render_all_8x_warm_ns_per_op"`
+
+	// 2000-resample bootstrap CI over one report (chunk-parallel).
+	BootstrapCINsPerOp int64 `json:"bootstrap_ci_ns_per_op"`
+
+	RenderCacheHits    uint64  `json:"render_cache_hits"`
+	RenderCacheMisses  uint64  `json:"render_cache_misses"`
+	RenderCacheHitRate float64 `json:"render_cache_hit_rate"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("o", "BENCH_1.json", "snapshot output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	names := suite.ModelNames()
+	tableII := func(workers int) testing.BenchmarkResult {
+		suite.Workers = workers
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, name := range names {
+					if _, err := suite.Evaluate(name); err != nil {
+						panic(err)
+					}
+				}
+			}
+		})
+	}
+	fmt.Println("timing Table II sweep (12 models x 142 questions)...")
+	serial := tableII(1)
+	parallel := tableII(-1)
+
+	// Resolution study: cold pass pays every (scene, factor) derivation
+	// once; the warm steady state reuses them across models and runs.
+	suite.Workers = -1
+	chipvqa.ResetRenderCache()
+	start := time.Now()
+	if _, err := suite.EvaluateAtResolution("GPT4o", 16); err != nil {
+		return err
+	}
+	cold := time.Since(start)
+	res16 := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := suite.EvaluateAtResolution("GPT4o", 16); err != nil {
+				panic(err)
+			}
+		}
+	})
+	render8 := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range suite.Benchmark.Questions {
+				_ = chipvqa.RenderQuestion(q, 8)
+			}
+		}
+	})
+	rep, err := suite.Evaluate("GPT4o")
+	if err != nil {
+		return err
+	}
+	boot := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = rep.BootstrapCI(2000, 0.95)
+		}
+	})
+	stats := chipvqa.RenderCacheStats()
+
+	snap := benchSnapshot{
+		Schema:                  "chipvqa-bench/1",
+		Date:                    time.Now().UTC().Format("2006-01-02"),
+		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		TableIISerialNsPerOp:    serial.NsPerOp(),
+		TableIIParallelNsPerOp:  parallel.NsPerOp(),
+		Resolution16ColdNs:      cold.Nanoseconds(),
+		Resolution16WarmNsPerOp: res16.NsPerOp(),
+		RenderAll8xWarmNsPerOp:  render8.NsPerOp(),
+		BootstrapCINsPerOp:      boot.NsPerOp(),
+		RenderCacheHits:         stats.Hits,
+		RenderCacheMisses:       stats.Misses,
+		RenderCacheHitRate:      stats.HitRate(),
+	}
+	if parallel.NsPerOp() > 0 {
+		snap.TableIISpeedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Table II: serial %.1f ms/op, parallel %.1f ms/op (%.2fx, GOMAXPROCS=%d)\n",
+		float64(snap.TableIISerialNsPerOp)/1e6, float64(snap.TableIIParallelNsPerOp)/1e6,
+		snap.TableIISpeedup, snap.GoMaxProcs)
+	fmt.Printf("16x resolution: cold %.1f ms, warm %.1f ms/op\n",
+		float64(snap.Resolution16ColdNs)/1e6, float64(snap.Resolution16WarmNsPerOp)/1e6)
+	fmt.Printf("render cache: %d hits / %d misses (%.1f%% hit rate)\n",
+		stats.Hits, stats.Misses, 100*stats.HitRate())
+	fmt.Printf("wrote %s\n", *out)
 	return nil
 }

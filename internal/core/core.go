@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/analog"
 	"repro/internal/arch"
@@ -56,15 +57,42 @@ func Targets() TableITargets {
 	}
 }
 
+// generateConcurrent runs the five category generators concurrently and
+// merges their outputs in the fixed discipline order (digital, analog,
+// arch, manuf, phys), so the assembled question sequence is identical to
+// a serial build. The generators share no mutable state — every
+// stochastic parameter draws from a keyed rng stream — which makes the
+// fan-out safe.
+func generateConcurrent(gens [5]func() []*dataset.Question) []*dataset.Question {
+	var parts [5][]*dataset.Question
+	var wg sync.WaitGroup
+	wg.Add(len(gens))
+	for i, g := range gens {
+		go func(i int, g func() []*dataset.Question) {
+			defer wg.Done()
+			parts[i] = g()
+		}(i, g)
+	}
+	wg.Wait()
+	var out []*dataset.Question
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
 // BuildBenchmark generates the full 142-question ChipVQA collection and
-// verifies it against the Table I targets.
+// verifies it against the Table I targets. The five discipline engines
+// run concurrently; the merge order is deterministic.
 func BuildBenchmark() (*dataset.Benchmark, error) {
 	b := &dataset.Benchmark{Name: "ChipVQA"}
-	b.Questions = append(b.Questions, digital.Generate()...)
-	b.Questions = append(b.Questions, analog.Generate()...)
-	b.Questions = append(b.Questions, arch.Generate()...)
-	b.Questions = append(b.Questions, manuf.Generate()...)
-	b.Questions = append(b.Questions, phys.Generate()...)
+	b.Questions = generateConcurrent([5]func() []*dataset.Question{
+		digital.Generate,
+		analog.Generate,
+		arch.Generate,
+		manuf.Generate,
+		phys.Generate,
+	})
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}

@@ -38,12 +38,42 @@ func TestBuildBenchmarkTableI(t *testing.T) {
 }
 
 func TestBenchmarkDeterministic(t *testing.T) {
+	// The five discipline generators run concurrently inside
+	// BuildBenchmark; the merged sequence must still be identical from
+	// build to build (fixed discipline merge order, keyed rng streams).
 	a := MustBuild()
 	b := MustBuild()
 	for i := range a.Questions {
 		if a.Questions[i].ID != b.Questions[i].ID ||
 			a.Questions[i].Prompt != b.Questions[i].Prompt {
 			t.Fatalf("question %d differs between builds", i)
+		}
+	}
+}
+
+func TestExtendedDeterministicAndOrdered(t *testing.T) {
+	a, err := BuildExtended("det-fold", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildExtended("det-fold", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 30 || b.Len() != 30 {
+		t.Fatalf("sizes %d/%d, want 30", a.Len(), b.Len())
+	}
+	for i := range a.Questions {
+		if a.Questions[i].ID != b.Questions[i].ID {
+			t.Fatalf("question %d differs between concurrent builds", i)
+		}
+	}
+	// Deterministic merge order: questions grouped by discipline in the
+	// fixed category order.
+	for i := 1; i < len(a.Questions); i++ {
+		if a.Questions[i].Category < a.Questions[i-1].Category {
+			t.Fatalf("category order broken at %d: %v after %v",
+				i, a.Questions[i].Category, a.Questions[i-1].Category)
 		}
 	}
 }

@@ -22,11 +22,13 @@ func BuildExtended(seed string, perCategory int) (*dataset.Benchmark, error) {
 		return nil, fmt.Errorf("core: perCategory must be positive, got %d", perCategory)
 	}
 	b := &dataset.Benchmark{Name: fmt.Sprintf("ChipVQA-extended-%s", seed)}
-	b.Questions = append(b.Questions, digital.GenerateExtra(seed, perCategory)...)
-	b.Questions = append(b.Questions, analog.GenerateExtra(seed, perCategory)...)
-	b.Questions = append(b.Questions, arch.GenerateExtra(seed, perCategory)...)
-	b.Questions = append(b.Questions, manuf.GenerateExtra(seed, perCategory)...)
-	b.Questions = append(b.Questions, phys.GenerateExtra(seed, perCategory)...)
+	b.Questions = generateConcurrent([5]func() []*dataset.Question{
+		func() []*dataset.Question { return digital.GenerateExtra(seed, perCategory) },
+		func() []*dataset.Question { return analog.GenerateExtra(seed, perCategory) },
+		func() []*dataset.Question { return arch.GenerateExtra(seed, perCategory) },
+		func() []*dataset.Question { return manuf.GenerateExtra(seed, perCategory) },
+		func() []*dataset.Question { return phys.GenerateExtra(seed, perCategory) },
+	})
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}

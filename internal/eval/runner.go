@@ -2,9 +2,12 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"unicode/utf8"
 
 	"repro/internal/dataset"
 )
@@ -19,7 +22,8 @@ type InferenceOptions struct {
 
 // Model is anything that can answer a benchmark question: the simulated
 // VLMs of internal/vlm and the agent system of internal/agent both
-// implement it.
+// implement it. Implementations must be safe for concurrent Answer
+// calls; everything in this repository is read-only after construction.
 type Model interface {
 	Name() string
 	Answer(q *dataset.Question, opts InferenceOptions) string
@@ -71,17 +75,81 @@ func (r *Report) Pass1ByCategory() map[dataset.Category]float64 {
 }
 
 // Runner evaluates models over a benchmark with a judge.
+//
+// Workers selects the evaluation engine:
+//
+//	> 0  that many pooled worker goroutines
+//	== 0 serial (the zero value keeps its historical behaviour)
+//	< 0  auto: runtime.GOMAXPROCS(0) workers
+//
+// Results are deterministic regardless of Workers: every stochastic
+// decision draws from an rng stream keyed by (model, question, stage),
+// never from shared generator state, and results land in question order.
+// A parallel run therefore produces byte-identical reports to a serial
+// one (see TestTableIIDeterministicAcrossWorkers).
 type Runner struct {
 	Judge Judge
 	Opts  InferenceOptions
-	// Workers bounds concurrent question evaluations (<=1 = serial).
+	// Workers bounds concurrent question evaluations; see the type doc.
 	Workers int
+}
+
+// NewRunner returns a Runner with Workers defaulted to
+// runtime.GOMAXPROCS(0) — the engine the paper-scale experiments
+// (12 models x 2 collections x 142 questions) should run on.
+func NewRunner() Runner {
+	return Runner{Workers: runtime.GOMAXPROCS(0)}
+}
+
+// EffectiveWorkers normalizes the Workers knob: negative means auto
+// (GOMAXPROCS), zero means serial, positive is taken as-is.
+func (r Runner) EffectiveWorkers() int {
+	switch {
+	case r.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case r.Workers == 0:
+		return 1
+	default:
+		return r.Workers
+	}
+}
+
+// forEach runs fn(i) for every i in [0, n) on a fixed pool of at most
+// workers goroutines pulling indices from a shared counter. workers <= 1
+// (or tiny n) degenerates to an inline serial loop. fn must write only
+// to its own index's slot, which keeps output order deterministic.
+func forEach(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Evaluate runs one model over the benchmark.
 func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
 	rep := &Report{ModelName: m.Name(), Results: make([]QuestionResult, len(b.Questions))}
-	eval := func(i int) {
+	forEach(r.EffectiveWorkers(), len(b.Questions), func(i int) {
 		q := b.Questions[i]
 		resp := m.Answer(q, r.Opts)
 		rep.Results[i] = QuestionResult{
@@ -90,34 +158,34 @@ func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
 			Response:   resp,
 			Correct:    r.Judge.Correct(q, resp),
 		}
-	}
-	if r.Workers <= 1 {
-		for i := range b.Questions {
-			eval(i)
-		}
-		return rep
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.Workers)
-	for i := range b.Questions {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			eval(i)
-			<-sem
-		}(i)
-	}
-	wg.Wait()
+	})
 	return rep
 }
 
-// EvaluateAll runs every model and returns reports in input order.
+// EvaluateAll runs every model and returns reports in input order. The
+// (model, question) grid is flattened into one task list so the worker
+// pool stays busy across model boundaries — a cheap model finishing
+// early does not idle its workers while an expensive one lags.
 func (r Runner) EvaluateAll(models []Model, b *dataset.Benchmark) []*Report {
+	nq := len(b.Questions)
 	out := make([]*Report, len(models))
 	for i, m := range models {
-		out[i] = r.Evaluate(m, b)
+		out[i] = &Report{ModelName: m.Name(), Results: make([]QuestionResult, nq)}
 	}
+	if nq == 0 {
+		return out
+	}
+	forEach(r.EffectiveWorkers(), len(models)*nq, func(t int) {
+		mi, qi := t/nq, t%nq
+		q := b.Questions[qi]
+		resp := models[mi].Answer(q, r.Opts)
+		out[mi].Results[qi] = QuestionResult{
+			QuestionID: q.ID,
+			Category:   q.Category,
+			Response:   resp,
+			Correct:    r.Judge.Correct(q, resp),
+		}
+	})
 	return out
 }
 
@@ -172,9 +240,13 @@ func (r *Report) WrongQuestions() []string {
 	return out
 }
 
+// truncate shortens s to at most n runes. Truncating by bytes could
+// split a multi-byte rune in a category short name and emit invalid
+// UTF-8 into the table.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n]
+	rs := []rune(s)
+	return string(rs[:n])
 }

@@ -3,6 +3,7 @@ package eval
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/rng"
@@ -21,12 +22,26 @@ func (ci ConfidenceInterval) String() string {
 	return fmt.Sprintf("%.3f [%.3f, %.3f] @ %.0f%%", ci.Point, ci.Lo, ci.Hi, ci.Level*100)
 }
 
+// bootstrapChunk is the number of resamples sharing one rng stream.
+// Chunking makes the resample schedule independent of how many workers
+// execute it: chunk c always draws from the stream keyed by c, so a
+// serial run and any parallel run produce identical statistics.
+const bootstrapChunk = 256
+
 // BootstrapCI computes a percentile-bootstrap confidence interval for a
 // report's overall Pass@1. With only 142 questions the benchmark's
 // Pass@1 estimates carry real sampling noise — roughly ±0.08 at 95% —
 // which is worth reporting next to any Table II-style comparison.
-// Resampling is deterministic per (model, resamples, level).
+// Resampling is deterministic per (model, resamples, level): the
+// resamples are split into fixed chunks, each with its own keyed rng
+// stream, and the chunks run on up to GOMAXPROCS workers.
 func (r *Report) BootstrapCI(resamples int, level float64) ConfidenceInterval {
+	return r.bootstrapCI(resamples, level, runtime.GOMAXPROCS(0))
+}
+
+// bootstrapCI is the worker-count-explicit core of BootstrapCI, split
+// out so tests can prove the result is identical for any worker count.
+func (r *Report) bootstrapCI(resamples int, level float64, workers int) ConfidenceInterval {
 	n := len(r.Results)
 	if n == 0 {
 		return ConfidenceInterval{Level: level}
@@ -39,16 +54,24 @@ func (r *Report) BootstrapCI(resamples int, level float64) ConfidenceInterval {
 		correct[i] = q.Correct
 	}
 	stats := make([]float64, resamples)
-	gen := rng.New("bootstrap", r.ModelName, fmt.Sprint(resamples), fmt.Sprint(level))
-	for b := 0; b < resamples; b++ {
-		hits := 0
-		for i := 0; i < n; i++ {
-			if correct[gen.IntN(n)] {
-				hits++
-			}
+	chunks := (resamples + bootstrapChunk - 1) / bootstrapChunk
+	forEach(workers, chunks, func(c int) {
+		gen := rng.New("bootstrap", r.ModelName, fmt.Sprint(resamples), fmt.Sprint(level), fmt.Sprint(c))
+		lo := c * bootstrapChunk
+		hi := lo + bootstrapChunk
+		if hi > resamples {
+			hi = resamples
 		}
-		stats[b] = float64(hits) / float64(n)
-	}
+		for b := lo; b < hi; b++ {
+			hits := 0
+			for i := 0; i < n; i++ {
+				if correct[gen.IntN(n)] {
+					hits++
+				}
+			}
+			stats[b] = float64(hits) / float64(n)
+		}
+	})
 	sort.Float64s(stats)
 	alpha := (1 - level) / 2
 	lo := stats[int(alpha*float64(resamples))]

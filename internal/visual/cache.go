@@ -1,0 +1,166 @@
+package visual
+
+import (
+	"image"
+	"sync"
+	"sync/atomic"
+)
+
+// SceneCache memoizes per-scene visual artifacts across evaluation runs:
+// the rendered image, its downsampled variants, and the per-critical-
+// element legibility losses at each downsample factor. A Table II-style
+// sweep asks 12 models about the same 142 figures; without the cache
+// every (model, question) pair re-derives the same scene properties.
+// With it each property is computed once per (scene, factor).
+//
+// Keying is by scene pointer identity plus factor. Scenes are built once
+// per benchmark and shared by reference everywhere (the challenge
+// collection shallow-copies questions, keeping the same *Scene), so
+// pointer identity is exactly scene identity. Scenes must not be mutated
+// after first use with a cache — everything in this repository treats
+// them as immutable once built.
+//
+// All methods are safe for concurrent use. Returned images and slices
+// are shared; callers must treat them as read-only (use Clone for a
+// private mutable copy).
+type SceneCache struct {
+	renders   sync.Map // renderKey -> *entryAny (*image.RGBA)
+	losses    sync.Map // renderKey -> *entryAny ([]float64)
+	criticals sync.Map // renderKey{scene, 0} -> *entryAny ([]Element)
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+}
+
+type renderKey struct {
+	scene  *Scene
+	factor int
+}
+
+// entryAny computes its value exactly once even when many goroutines
+// miss on the same key concurrently.
+type entryAny struct {
+	once sync.Once
+	val  any
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewSceneCache returns an empty cache.
+func NewSceneCache() *SceneCache { return &SceneCache{} }
+
+// Default is the process-wide cache the evaluation engine uses.
+var Default = NewSceneCache()
+
+// Render returns the scene rasterised at full resolution, rendering at
+// most once per scene.
+func (c *SceneCache) Render(s *Scene) *image.RGBA {
+	return c.image(s, 1, func() *image.RGBA { return Render(s) })
+}
+
+// Downsampled returns the scene rendered then box-filtered by factor,
+// computing each (scene, factor) at most once. factor <= 1 returns the
+// full-resolution render.
+func (c *SceneCache) Downsampled(s *Scene, factor int) *image.RGBA {
+	if factor <= 1 {
+		return c.Render(s)
+	}
+	return c.image(s, factor, func() *image.RGBA {
+		return Downsample(c.Render(s), factor)
+	})
+}
+
+func (c *SceneCache) image(s *Scene, factor int, compute func() *image.RGBA) *image.RGBA {
+	e := c.lookup(&c.renders, renderKey{s, factor})
+	e.once.Do(func() { e.val = compute() })
+	return e.val.(*image.RGBA)
+}
+
+// CriticalLosses returns LegibilityLoss(factor, e.Salience) for every
+// critical element of the scene, in CriticalElements order, computed
+// once per (scene, factor) instead of once per (model, question, element).
+func (c *SceneCache) CriticalLosses(s *Scene, factor int) []float64 {
+	e := c.lookup(&c.losses, renderKey{s, factor})
+	e.once.Do(func() {
+		crit := s.CriticalElements()
+		out := make([]float64, len(crit))
+		for i, el := range crit {
+			out[i] = LegibilityLoss(factor, el.Salience)
+		}
+		e.val = out
+	})
+	return e.val.([]float64)
+}
+
+// Criticals returns s.CriticalElements() memoized per scene, so the
+// filtered slice is built once rather than on every perception call.
+func (c *SceneCache) Criticals(s *Scene) []Element {
+	e := c.lookup(&c.criticals, renderKey{s, 0})
+	e.once.Do(func() { e.val = s.CriticalElements() })
+	return e.val.([]Element)
+}
+
+// lookup is the hit/miss-counting map access shared by the render and
+// loss tables; the entry's Once guarantees single computation per key.
+func (c *SceneCache) lookup(m *sync.Map, k renderKey) *entryAny {
+	if v, ok := m.Load(k); ok {
+		c.hits.Add(1)
+		return v.(*entryAny)
+	}
+	v, loaded := m.LoadOrStore(k, &entryAny{})
+	if loaded {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v.(*entryAny)
+}
+
+// Stats returns the cumulative hit/miss counters.
+func (c *SceneCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Reset drops every cached artifact and zeroes the counters.
+func (c *SceneCache) Reset() {
+	c.renders.Range(func(k, _ any) bool { c.renders.Delete(k); return true })
+	c.losses.Range(func(k, _ any) bool { c.losses.Delete(k); return true })
+	c.criticals.Range(func(k, _ any) bool { c.criticals.Delete(k); return true })
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Clone returns a private mutable copy of a (possibly cached) image.
+func Clone(img *image.RGBA) *image.RGBA {
+	out := image.NewRGBA(img.Bounds())
+	copy(out.Pix, img.Pix)
+	return out
+}
+
+// Package-level conveniences over the Default cache.
+
+// CachedRender renders via the Default cache.
+func CachedRender(s *Scene) *image.RGBA { return Default.Render(s) }
+
+// CachedDownsample renders and downsamples via the Default cache.
+func CachedDownsample(s *Scene, factor int) *image.RGBA { return Default.Downsampled(s, factor) }
+
+// CachedCriticalLosses returns the per-critical-element legibility
+// losses via the Default cache.
+func CachedCriticalLosses(s *Scene, factor int) []float64 { return Default.CriticalLosses(s, factor) }
+
+// CachedCriticals returns the scene's critical elements via the Default
+// cache.
+func CachedCriticals(s *Scene) []Element { return Default.Criticals(s) }

@@ -1,0 +1,144 @@
+package visual
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestSceneCacheRenderMemoized(t *testing.T) {
+	c := NewSceneCache()
+	s := sampleScene(KindSchematic)
+	a := c.Render(s)
+	b := c.Render(s)
+	if a != b {
+		t.Error("second render did not return the cached image")
+	}
+	if !bytes.Equal(a.Pix, Render(s).Pix) {
+		t.Error("cached render differs from a direct render")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats %+v, want 1 miss + 1 hit", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestSceneCacheDownsampled(t *testing.T) {
+	c := NewSceneCache()
+	s := sampleScene(KindLayout)
+	got := c.Downsampled(s, 8)
+	want := Downsample(Render(s), 8)
+	if got.Bounds() != want.Bounds() || !bytes.Equal(got.Pix, want.Pix) {
+		t.Error("cached downsample differs from direct pipeline")
+	}
+	if c.Downsampled(s, 8) != got {
+		t.Error("second downsample not cached")
+	}
+	// factor <= 1 is the full render entry, not a separate key.
+	if c.Downsampled(s, 1) != c.Render(s) {
+		t.Error("factor 1 should share the render entry")
+	}
+	// Distinct factors are distinct entries.
+	if c.Downsampled(s, 16) == got {
+		t.Error("16x shares the 8x entry")
+	}
+}
+
+func TestSceneCacheCriticalLossesAndCriticals(t *testing.T) {
+	c := NewSceneCache()
+	s := sampleScene(KindSchematic)
+	crit := c.Criticals(s)
+	direct := s.CriticalElements()
+	if len(crit) != len(direct) {
+		t.Fatalf("criticals %d, want %d", len(crit), len(direct))
+	}
+	for _, factor := range []int{8, 16} {
+		losses := c.CriticalLosses(s, factor)
+		if len(losses) != len(direct) {
+			t.Fatalf("factor %d: %d losses for %d criticals", factor, len(losses), len(direct))
+		}
+		for i, e := range direct {
+			if want := LegibilityLoss(factor, e.Salience); losses[i] != want {
+				t.Errorf("factor %d element %d: loss %v, want %v", factor, i, losses[i], want)
+			}
+		}
+	}
+	// Memoized: same backing slice on the second call.
+	a := c.CriticalLosses(s, 16)
+	b := c.CriticalLosses(s, 16)
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Error("losses recomputed on second call")
+	}
+}
+
+func TestSceneCacheReset(t *testing.T) {
+	c := NewSceneCache()
+	s := sampleScene(KindCurve)
+	img := c.Render(s)
+	_ = c.CriticalLosses(s, 8)
+	_ = c.Criticals(s)
+	c.Reset()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats after reset %+v", st)
+	}
+	if c.Render(s) == img {
+		t.Error("reset kept the cached render")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("post-reset render should miss, stats %+v", st)
+	}
+}
+
+func TestSceneCacheConcurrent(t *testing.T) {
+	c := NewSceneCache()
+	scenes := []*Scene{
+		sampleScene(KindSchematic),
+		sampleScene(KindDiagram),
+		sampleScene(KindLayout),
+	}
+	var wg sync.WaitGroup
+	const goroutines = 16
+	// Record pointer identities (image pointer, first loss element) so
+	// we can check every goroutine saw the same cached artifacts.
+	ptrs := make([][]any, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, s := range scenes {
+				losses := c.CriticalLosses(s, 8)
+				ptrs[g] = append(ptrs[g], c.Downsampled(s, 8), &losses[0])
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every goroutine must observe the same cached artifacts.
+	for g := 1; g < goroutines; g++ {
+		for i := range ptrs[0] {
+			if ptrs[g][i] != ptrs[0][i] {
+				t.Fatalf("goroutine %d artifact %d differs", g, i)
+			}
+		}
+	}
+	// Each (scene, factor) computed once: 3 scenes x (render + 8x + losses).
+	if st := c.Stats(); st.Misses != 9 {
+		t.Errorf("misses %d, want 9 (%+v)", st.Misses, st)
+	}
+}
+
+func TestCloneIsPrivate(t *testing.T) {
+	s := sampleScene(KindSchematic)
+	orig := CachedRender(s)
+	cp := Clone(orig)
+	if !bytes.Equal(orig.Pix, cp.Pix) {
+		t.Fatal("clone differs from original")
+	}
+	before := orig.Pix[0]
+	cp.Pix[0] = before ^ 0xff
+	if orig.Pix[0] != before {
+		t.Error("mutating the clone changed the cached image")
+	}
+}

@@ -102,19 +102,23 @@ func (m *SimulatedVLM) BuildPrompt(q *dataset.Question) string {
 // perceives runs the perception stage: at full resolution the scene
 // graph is fully legible; a downsampled image loses low-salience
 // critical details per visual.LegibilityLoss, and the model gives up
-// when too little of the critical content survives.
+// when too little of the critical content survives. The per-element
+// losses come from the shared scene cache, so they are derived once per
+// (scene, factor) rather than once per (model, question) pair; only the
+// per-model recovery draws (keyed rng, deterministic) happen here.
 func (m *SimulatedVLM) perceives(q *dataset.Question, factor int) bool {
 	if factor <= 1 || q.Visual == nil {
 		return true
 	}
-	crit := q.Visual.CriticalElements()
+	crit := visual.CachedCriticals(q.Visual)
 	if len(crit) == 0 {
 		return true
 	}
+	losses := visual.CachedCriticalLosses(q.Visual, factor)
 	scale := m.perception.LossScaleBase - m.perception.LossScalePerception*m.profile.Perception
 	recovered := 0
-	for _, e := range crit {
-		loss := visual.LegibilityLoss(factor, e.Salience) * scale
+	for i, e := range crit {
+		loss := losses[i] * scale
 		if loss > 1 {
 			loss = 1
 		}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Record the repo's perf trajectory: time the evaluation engine
+# (Table II serial vs parallel, the cached resolution sweep, bootstrap
+# CI) and write a BENCH_N.json snapshot at the repo root.
+#
+# Usage: scripts/bench.sh [N]   (default N=1 -> BENCH_1.json)
+set -e
+cd "$(dirname "$0")/.."
+N="${1:-1}"
+go run ./cmd/chipvqa bench -o "BENCH_${N}.json"
