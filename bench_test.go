@@ -477,6 +477,66 @@ func BenchmarkRenderPipeline(b *testing.B) {
 	}
 }
 
+// The span raster kernel cold: every question's scene rasterised from
+// scratch, each frame handed back to the pixel pool. No cache — this is
+// the kernel itself, amortised over all 142 figures.
+func BenchmarkRenderAllCold(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range suite.Benchmark.Questions {
+			img := visual.Render(q.Visual)
+			visual.ReleaseImage(img)
+		}
+	}
+}
+
+// The zero-copy read path: QuestionImage returns the cache-shared frame
+// directly, so a warm call is a map lookup.
+func BenchmarkQuestionImageWarm(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	for _, q := range suite.Benchmark.Questions {
+		_ = chipvqa.QuestionImage(q, 8) // prime the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range suite.Benchmark.Questions {
+			_ = chipvqa.QuestionImage(q, 8)
+		}
+	}
+}
+
+// The cloning read path: RenderQuestion pays a pooled row-copy per call
+// for a mutable frame. The gap to BenchmarkQuestionImageWarm is the
+// price of the private copy.
+func BenchmarkRenderQuestionClone(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	for _, q := range suite.Benchmark.Questions {
+		_ = chipvqa.QuestionImage(q, 8)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range suite.Benchmark.Questions {
+			img := chipvqa.RenderQuestion(q, 8)
+			visual.ReleaseImage(img)
+		}
+	}
+}
+
+// The separable downsample kernel alone, at the ablation factors.
+func BenchmarkDownsample(b *testing.B) {
+	suite := chipvqa.MustNewSuite()
+	img := visual.Render(suite.Benchmark.Questions[0].Visual)
+	for _, f := range []int{2, 8, 16} {
+		b.Run(fmt.Sprintf("%dx", f), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := visual.Downsample(img, f)
+				visual.ReleaseImage(out)
+			}
+		})
+	}
+}
+
 // The same pipeline through the scene cache: after the first iteration
 // every render and downsample is a lookup. The gap to
 // BenchmarkRenderPipeline is the per-question win the evaluation engine

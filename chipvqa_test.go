@@ -215,6 +215,36 @@ func TestRenderQuestion(t *testing.T) {
 	}
 }
 
+func TestQuestionImageShared(t *testing.T) {
+	suite := chipvqa.MustNewSuite()
+	q := suite.Benchmark.Questions[0]
+	// The zero-copy accessor returns the cache-shared frame: two calls
+	// yield the same *image.RGBA.
+	a := chipvqa.QuestionImage(q, 8)
+	b := chipvqa.QuestionImage(q, 8)
+	if a != b {
+		t.Error("QuestionImage returned distinct images for the same (question, factor)")
+	}
+	// RenderQuestion's clone is private: a different image with equal pixels.
+	c := chipvqa.RenderQuestion(q, 8)
+	if c == a {
+		t.Error("RenderQuestion returned the cache-shared image")
+	}
+	if len(c.Pix) != len(a.Pix) {
+		t.Fatalf("clone size mismatch: %d vs %d", len(c.Pix), len(a.Pix))
+	}
+	for i := range c.Pix {
+		if c.Pix[i] != a.Pix[i] {
+			t.Fatalf("clone pixels differ at offset %d", i)
+		}
+	}
+	// Mutating the clone must not leak into the shared frame.
+	c.Pix[0] ^= 0xff
+	if a.Pix[0] == c.Pix[0] {
+		t.Error("mutating the clone changed the cached image")
+	}
+}
+
 func TestJudgeExposed(t *testing.T) {
 	suite := chipvqa.MustNewSuite()
 	j := chipvqa.AnswerJudge{}

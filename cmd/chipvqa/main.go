@@ -28,6 +28,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/visual"
 	"repro/internal/vlm"
 )
 
@@ -275,7 +276,9 @@ func cmdRender(args []string) error {
 		if *only != "" && q.ID != *only {
 			continue
 		}
-		img := chipvqa.RenderQuestion(q, *factor)
+		// PNG encoding only reads pixels, so the shared cached image is
+		// enough — no private clone per question.
+		img := chipvqa.QuestionImage(q, *factor)
 		path := filepath.Join(*dir, fmt.Sprintf("%s.png", q.ID))
 		f, err := os.Create(path)
 		if err != nil {
@@ -509,8 +512,11 @@ type benchSnapshot struct {
 	Schema     string `json:"schema"`
 	Date       string `json:"date"`
 	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
 
-	// Table II standard collection: 12 models x 142 questions.
+	// Table II standard collection: 12 models x 142 questions. The
+	// parallel run is pinned to GOMAXPROCS = NumCPU so snapshots taken
+	// under a restricted GOMAXPROCS still record the machine's capability.
 	TableIISerialNsPerOp   int64   `json:"table_ii_serial_ns_per_op"`
 	TableIIParallelNsPerOp int64   `json:"table_ii_parallel_ns_per_op"`
 	TableIISpeedup         float64 `json:"table_ii_speedup"`
@@ -521,8 +527,16 @@ type benchSnapshot struct {
 	Resolution16ColdNs      int64 `json:"resolution16_cold_ns"`
 	Resolution16WarmNsPerOp int64 `json:"resolution16_warm_ns_per_op"`
 
-	// Rendering every question at 8x through the scene cache.
-	RenderAll8xWarmNsPerOp int64 `json:"render_all_8x_warm_ns_per_op"`
+	// Raster kernel, no cache: rasterise every question's scene from
+	// scratch and hand each frame back to the pixel pool. This is the
+	// span kernel's headline number.
+	RenderAllColdNsPerOp int64 `json:"render_all_cold_ns_per_op"`
+
+	// Rendering every question at 8x through the scene cache: warm is
+	// the zero-copy QuestionImage accessor, clone is RenderQuestion's
+	// private copy — the gap is the per-call cost of cloning.
+	RenderAll8xWarmNsPerOp  int64 `json:"render_all_8x_warm_ns_per_op"`
+	RenderAll8xCloneNsPerOp int64 `json:"render_all_8x_clone_ns_per_op"`
 
 	// 2000-resample bootstrap CI over one report (chunk-parallel).
 	BootstrapCINsPerOp int64 `json:"bootstrap_ci_ns_per_op"`
@@ -557,7 +571,11 @@ func cmdBench(args []string) error {
 	}
 	fmt.Println("timing Table II sweep (12 models x 142 questions)...")
 	serial := tableII(1)
+	// Pin the parallel run to the machine's full core count even when the
+	// process was started with a lower GOMAXPROCS, then restore.
+	prevProcs := runtime.GOMAXPROCS(runtime.NumCPU())
 	parallel := tableII(-1)
+	runtime.GOMAXPROCS(prevProcs)
 
 	// Resolution study: cold pass pays every (scene, factor) derivation
 	// once; the warm steady state reuses them across models and runs.
@@ -575,10 +593,26 @@ func cmdBench(args []string) error {
 			}
 		}
 	})
+	renderCold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range suite.Benchmark.Questions {
+				img := visual.Render(q.Visual)
+				visual.ReleaseImage(img)
+			}
+		}
+	})
 	render8 := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for _, q := range suite.Benchmark.Questions {
-				_ = chipvqa.RenderQuestion(q, 8)
+				_ = chipvqa.QuestionImage(q, 8)
+			}
+		}
+	})
+	render8Clone := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range suite.Benchmark.Questions {
+				img := chipvqa.RenderQuestion(q, 8)
+				visual.ReleaseImage(img) // caller-owned clone, safe to recycle
 			}
 		}
 	})
@@ -594,14 +628,17 @@ func cmdBench(args []string) error {
 	stats := chipvqa.RenderCacheStats()
 
 	snap := benchSnapshot{
-		Schema:                  "chipvqa-bench/1",
+		Schema:                  "chipvqa-bench/2",
 		Date:                    time.Now().UTC().Format("2006-01-02"),
 		GoMaxProcs:              runtime.GOMAXPROCS(0),
+		NumCPU:                  runtime.NumCPU(),
 		TableIISerialNsPerOp:    serial.NsPerOp(),
 		TableIIParallelNsPerOp:  parallel.NsPerOp(),
 		Resolution16ColdNs:      cold.Nanoseconds(),
 		Resolution16WarmNsPerOp: res16.NsPerOp(),
+		RenderAllColdNsPerOp:    renderCold.NsPerOp(),
 		RenderAll8xWarmNsPerOp:  render8.NsPerOp(),
+		RenderAll8xCloneNsPerOp: render8Clone.NsPerOp(),
 		BootstrapCINsPerOp:      boot.NsPerOp(),
 		RenderCacheHits:         stats.Hits,
 		RenderCacheMisses:       stats.Misses,
@@ -617,11 +654,14 @@ func cmdBench(args []string) error {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("Table II: serial %.1f ms/op, parallel %.1f ms/op (%.2fx, GOMAXPROCS=%d)\n",
+	fmt.Printf("Table II: serial %.1f ms/op, parallel %.1f ms/op (%.2fx, NumCPU=%d)\n",
 		float64(snap.TableIISerialNsPerOp)/1e6, float64(snap.TableIIParallelNsPerOp)/1e6,
-		snap.TableIISpeedup, snap.GoMaxProcs)
+		snap.TableIISpeedup, snap.NumCPU)
 	fmt.Printf("16x resolution: cold %.1f ms, warm %.1f ms/op\n",
 		float64(snap.Resolution16ColdNs)/1e6, float64(snap.Resolution16WarmNsPerOp)/1e6)
+	fmt.Printf("render all 142: cold %.1f ms/op; 8x warm %.3f ms/op, 8x clone %.3f ms/op\n",
+		float64(snap.RenderAllColdNsPerOp)/1e6,
+		float64(snap.RenderAll8xWarmNsPerOp)/1e6, float64(snap.RenderAll8xCloneNsPerOp)/1e6)
 	fmt.Printf("render cache: %d hits / %d misses (%.1f%% hit rate)\n",
 		stats.Hits, stats.Misses, 100*stats.HitRate())
 	fmt.Printf("wrote %s\n", *out)

@@ -385,10 +385,18 @@ func TestJudgeFuzzNeverPanics(t *testing.T) {
 			// (the probability of randomly hitting an equivalent answer
 			// is negligible for these goldens).
 			if j.Correct(q, s) {
-				// Allow the one real possibility: a random string that
-				// happens to start with the right option letter.
+				// Allow the two real possibilities: a random string that
+				// happens to start with the right option letter, or one
+				// that happens to contain digits parsing to the golden
+				// value (e.g. bytes spelling "42") — those are correct
+				// answers, not judge bugs.
 				if q.Golden.Kind == dataset.AnswerChoice {
 					continue
+				}
+				if q.Golden.Kind == dataset.AnswerNumber {
+					if v, _, ok := ParseNumber(s); ok && NumbersClose(v, q.Golden.Number, q.Golden.Tolerance) {
+						continue
+					}
 				}
 				return false
 			}

@@ -143,9 +143,18 @@ func (c *SceneCache) Reset() {
 }
 
 // Clone returns a private mutable copy of a (possibly cached) image.
+// The copy's buffer comes from the pixel pool and is copied row-by-row,
+// so cloning a sub-image view (Stride != 4*Dx) is also safe. The caller
+// owns the result and may hand it back with ReleaseImage.
 func Clone(img *image.RGBA) *image.RGBA {
-	out := image.NewRGBA(img.Bounds())
-	copy(out.Pix, img.Pix)
+	b := img.Bounds()
+	out := newRGBA(b)
+	w4 := 4 * b.Dx()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		si := img.PixOffset(b.Min.X, y)
+		di := out.PixOffset(b.Min.X, y)
+		copy(out.Pix[di:di+w4], img.Pix[si:si+w4])
+	}
 	return out
 }
 

@@ -9,6 +9,13 @@ import (
 // Canvas is a simple raster drawing surface backed by an RGBA image.
 // It provides the primitives the scene renderers need: lines, rectangles,
 // circles, arcs and bitmap text. Everything is drawn in device pixels.
+//
+// The drawing kernel is span-based: every primitive clips against the
+// canvas bounds once, then writes whole rows (or row segments) directly
+// into the backing Pix buffer. The per-pixel bounds check of the naive
+// kernel survives only in Set and in the Bresenham path for diagonal
+// lines; the differential tests in reference_test.go prove the span
+// kernel's output is byte-identical to the naive one.
 type Canvas struct {
 	img *image.RGBA
 }
@@ -38,7 +45,9 @@ var (
 )
 
 // NewCanvas returns a white canvas of the given size. Width and height
-// are clamped to at least 1 pixel.
+// are clamped to at least 1 pixel. The backing buffer comes from the
+// shared pixel pool; Fill re-whitens it completely, so recycled buffers
+// never leak stale pixels.
 func NewCanvas(w, h int) *Canvas {
 	if w < 1 {
 		w = 1
@@ -46,7 +55,7 @@ func NewCanvas(w, h int) *Canvas {
 	if h < 1 {
 		h = 1
 	}
-	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	img := newRGBA(image.Rect(0, 0, w, h))
 	c := &Canvas{img: img}
 	c.Fill(ColorWhite)
 	return c
@@ -61,13 +70,56 @@ func (c *Canvas) Size() (w, h int) {
 	return b.Dx(), b.Dy()
 }
 
-// Fill paints the whole canvas with a color.
+// rowSpan returns the raw bytes of row y covering columns [x0, x1).
+// Callers must pass in-bounds coordinates.
+func (c *Canvas) rowSpan(x0, x1, y int) []uint8 {
+	i := c.img.PixOffset(x0, y)
+	return c.img.Pix[i : i+4*(x1-x0)]
+}
+
+// hspan clips the inclusive column range [x0, x1] on row y against the
+// bounds once and returns the raw bytes of the surviving span (nil when
+// the row or the whole range is outside).
+func (c *Canvas) hspan(x0, x1, y int) []uint8 {
+	b := c.img.Bounds()
+	if y < b.Min.Y || y >= b.Max.Y {
+		return nil
+	}
+	if x0 < b.Min.X {
+		x0 = b.Min.X
+	}
+	if x1 >= b.Max.X {
+		x1 = b.Max.X - 1
+	}
+	if x0 > x1 {
+		return nil
+	}
+	return c.rowSpan(x0, x1+1, y)
+}
+
+// paintSpan writes col across a raw RGBA span (length divisible by 4):
+// seed the first pixel, then double with copy.
+func paintSpan(p []uint8, col color.RGBA) {
+	if len(p) == 0 {
+		return
+	}
+	p[0], p[1], p[2], p[3] = col.R, col.G, col.B, col.A
+	for n := 4; n < len(p); n *= 2 {
+		copy(p[n:], p[:n])
+	}
+}
+
+// Fill paints the whole canvas with a color: one painted prototype row,
+// copied into every other row.
 func (c *Canvas) Fill(col color.RGBA) {
 	b := c.img.Bounds()
-	for y := b.Min.Y; y < b.Max.Y; y++ {
-		for x := b.Min.X; x < b.Max.X; x++ {
-			c.img.SetRGBA(x, y, col)
-		}
+	if b.Empty() {
+		return
+	}
+	proto := c.rowSpan(b.Min.X, b.Max.X, b.Min.Y)
+	paintSpan(proto, col)
+	for y := b.Min.Y + 1; y < b.Max.Y; y++ {
+		copy(c.rowSpan(b.Min.X, b.Max.X, y), proto)
 	}
 }
 
@@ -78,8 +130,49 @@ func (c *Canvas) Set(x, y int, col color.RGBA) {
 	}
 }
 
-// Line draws a 1-pixel line with Bresenham's algorithm.
+// Line draws a 1-pixel line. Horizontal and vertical lines — the
+// dominant case in schematics (wires, gate bodies, table rules) — clip
+// to bounds once and write the span directly; everything else falls to
+// Bresenham.
 func (c *Canvas) Line(x0, y0, x1, y1 int, col color.RGBA) {
+	switch {
+	case y0 == y1:
+		x0, x1 = ordered(x0, x1)
+		paintSpan(c.hspan(x0, x1, y0), col)
+	case x0 == x1:
+		c.vline(x0, y0, y1, col)
+	default:
+		c.bresenham(x0, y0, x1, y1, col)
+	}
+}
+
+// vline writes a clipped vertical run of single pixels, stepping by
+// Stride instead of re-deriving the offset per pixel.
+func (c *Canvas) vline(x, y0, y1 int, col color.RGBA) {
+	b := c.img.Bounds()
+	if x < b.Min.X || x >= b.Max.X {
+		return
+	}
+	y0, y1 = ordered(y0, y1)
+	if y0 < b.Min.Y {
+		y0 = b.Min.Y
+	}
+	if y1 >= b.Max.Y {
+		y1 = b.Max.Y - 1
+	}
+	if y0 > y1 {
+		return
+	}
+	pix, stride := c.img.Pix, c.img.Stride
+	i := c.img.PixOffset(x, y0)
+	for y := y0; y <= y1; y++ {
+		pix[i], pix[i+1], pix[i+2], pix[i+3] = col.R, col.G, col.B, col.A
+		i += stride
+	}
+}
+
+// bresenham is the general diagonal path (Bresenham's algorithm).
+func (c *Canvas) bresenham(x0, y0, x1, y1 int, col color.RGBA) {
 	dx := abs(x1 - x0)
 	dy := -abs(y1 - y0)
 	sx := sign(x1 - x0)
@@ -128,14 +221,28 @@ func (c *Canvas) Rect(x0, y0, x1, y1 int, col color.RGBA) {
 	c.Line(x0, y1, x0, y0, col)
 }
 
-// FillRect paints a filled rectangle.
+// FillRect paints a filled rectangle: clip the rect once, paint one
+// prototype row, copy it into the remaining rows.
 func (c *Canvas) FillRect(x0, y0, x1, y1 int, col color.RGBA) {
 	x0, x1 = ordered(x0, x1)
 	y0, y1 = ordered(y0, y1)
-	for y := y0; y <= y1; y++ {
-		for x := x0; x <= x1; x++ {
-			c.Set(x, y, col)
-		}
+	b := c.img.Bounds()
+	if y0 < b.Min.Y {
+		y0 = b.Min.Y
+	}
+	if y1 >= b.Max.Y {
+		y1 = b.Max.Y - 1
+	}
+	if y0 > y1 {
+		return
+	}
+	proto := c.hspan(x0, x1, y0)
+	if proto == nil {
+		return
+	}
+	paintSpan(proto, col)
+	for y := y0 + 1; y <= y1; y++ {
+		copy(c.hspan(x0, x1, y), proto)
 	}
 }
 
@@ -166,15 +273,31 @@ func (c *Canvas) Circle(cx, cy, r int, col color.RGBA) {
 	}
 }
 
-// FillCircle paints a filled circle.
+// FillCircle paints a filled circle as one chord span per row instead of
+// testing every pixel of the bounding square.
 func (c *Canvas) FillCircle(cx, cy, r int, col color.RGBA) {
+	rr := r * r
 	for dy := -r; dy <= r; dy++ {
-		for dx := -r; dx <= r; dx++ {
-			if dx*dx+dy*dy <= r*r {
-				c.Set(cx+dx, cy+dy, col)
-			}
-		}
+		s := isqrt(rr - dy*dy)
+		paintSpan(c.hspan(cx-s, cx+s, cy+dy), col)
 	}
+}
+
+// isqrt returns the largest s >= 0 with s*s <= v (0 for negative v). The
+// float seed is exact for every chord the renderer meets, but the
+// correction loops make the contract independent of rounding.
+func isqrt(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	s := int(math.Sqrt(float64(v)))
+	for (s+1)*(s+1) <= v {
+		s++
+	}
+	for s*s > v {
+		s--
+	}
+	return s
 }
 
 // Arc draws a circular arc from a0 to a1 radians (counterclockwise in
@@ -252,20 +375,45 @@ func TextWidth(s string, scale int) int {
 	return max
 }
 
+// glyphRowSpans pre-expands every possible 5-bit glyph row into its runs
+// of consecutive set bits, as [start, end) column pairs. A glyph row then
+// rasterises as a handful of span paints instead of a scale*scale Set
+// loop per set bit.
+var glyphRowSpans [1 << glyphW][][2]int
+
+func init() {
+	for bits := range glyphRowSpans {
+		start := -1
+		for colIdx := 0; colIdx < glyphW; colIdx++ {
+			set := bits&(1<<(glyphW-1-colIdx)) != 0
+			switch {
+			case set && start < 0:
+				start = colIdx
+			case !set && start >= 0:
+				glyphRowSpans[bits] = append(glyphRowSpans[bits], [2]int{start, colIdx})
+				start = -1
+			}
+		}
+		if start >= 0 {
+			glyphRowSpans[bits] = append(glyphRowSpans[bits], [2]int{start, glyphW})
+		}
+	}
+}
+
 func (c *Canvas) glyph(x, y int, r rune, scale int, col color.RGBA) {
 	g, ok := font5x7[r]
 	if !ok {
 		g = font5x7['?']
 	}
 	for row := 0; row < glyphH; row++ {
-		bits := g[row]
-		for colIdx := 0; colIdx < glyphW; colIdx++ {
-			if bits&(1<<(glyphW-1-colIdx)) != 0 {
-				for sy := 0; sy < scale; sy++ {
-					for sx := 0; sx < scale; sx++ {
-						c.Set(x+colIdx*scale+sx, y+row*scale+sy, col)
-					}
-				}
+		spans := glyphRowSpans[g[row]&(1<<glyphW-1)]
+		if len(spans) == 0 {
+			continue
+		}
+		for sy := 0; sy < scale; sy++ {
+			yy := y + row*scale + sy
+			for _, sp := range spans {
+				paintSpan(c.hspan(x+sp[0]*scale, x+sp[1]*scale-1, yy), col)
 			}
 		}
 	}

@@ -38,36 +38,57 @@ func EncodePatches(img *image.RGBA, patchSize int) *PatchFeatures {
 	return f
 }
 
+// lum4 is the luminance of one raw RGBA pixel.
+func lum4(p []uint8) float64 {
+	return 0.299*float64(p[0]) + 0.587*float64(p[1]) + 0.114*float64(p[2])
+}
+
+// patchVector walks the patch through row slice windows — one bounds
+// computation per row instead of a PixOffset call per pixel read. The
+// accumulation order matches the per-pixel reference exactly, so the
+// float results are bit-identical.
 func patchVector(img *image.RGBA, b image.Rectangle, x0, y0, size int) []float64 {
+	w, h := b.Dx(), b.Dy()
+	x1, y1 := x0+size, y0+size
+	if x1 > w {
+		x1 = w
+	}
+	if y1 > h {
+		y1 = h
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return []float64{255, 0, 0, 0, 0}
+	}
 	var sum, sumSq, edgeH, edgeV, ink float64
 	var n float64
-	lum := func(x, y int) float64 {
-		i := img.PixOffset(b.Min.X+x, b.Min.Y+y)
-		return 0.299*float64(img.Pix[i]) + 0.587*float64(img.Pix[i+1]) + 0.114*float64(img.Pix[i+2])
-	}
-	for dy := 0; dy < size; dy++ {
-		for dx := 0; dx < size; dx++ {
-			x, y := x0+dx, y0+dy
-			if x >= b.Dx() || y >= b.Dy() {
-				continue
-			}
-			l := lum(x, y)
+	for y := y0; y < y1; y++ {
+		// row covers the patch columns and, when the image continues to
+		// the right, one pixel past the patch edge for the horizontal
+		// gradient at x1-1.
+		si := img.PixOffset(b.Min.X+x0, b.Min.Y+y)
+		row := img.Pix[si:]
+		var next []uint8
+		if y+1 < h {
+			ni := img.PixOffset(b.Min.X+x0, b.Min.Y+y+1)
+			next = img.Pix[ni:]
+		}
+		i := 0
+		for x := x0; x < x1; x++ {
+			l := lum4(row[i:])
 			sum += l
 			sumSq += l * l
 			if l < 200 {
 				ink++
 			}
-			if x+1 < b.Dx() {
-				edgeH += math.Abs(lum(x+1, y) - l)
+			if x+1 < w {
+				edgeH += math.Abs(lum4(row[i+4:]) - l)
 			}
-			if y+1 < b.Dy() {
-				edgeV += math.Abs(lum(x, y+1) - l)
+			if next != nil {
+				edgeV += math.Abs(lum4(next[i:]) - l)
 			}
+			i += 4
 			n++
 		}
-	}
-	if n == 0 {
-		return []float64{255, 0, 0, 0, 0}
 	}
 	mean := sum / n
 	variance := sumSq/n - mean*mean

@@ -2,15 +2,42 @@ package visual
 
 import (
 	"image"
+	"image/color"
 	"math"
 )
+
+// raster is the primitive set the element renderers draw against.
+// *Canvas is the production implementation (the span kernel); the
+// differential tests in reference_test.go provide a naive per-pixel
+// implementation of the same interface, so both kernels rasterise scenes
+// through the identical drawElement code and can be compared
+// byte-for-byte.
+type raster interface {
+	Line(x0, y0, x1, y1 int, col color.RGBA)
+	Rect(x0, y0, x1, y1 int, col color.RGBA)
+	FillRect(x0, y0, x1, y1 int, col color.RGBA)
+	Circle(cx, cy, r int, col color.RGBA)
+	FillCircle(cx, cy, r int, col color.RGBA)
+	Arc(cx, cy, r int, a0, a1 float64, col color.RGBA)
+	Polyline(pts []Point, col color.RGBA)
+	Arrow(x0, y0, x1, y1 int, col color.RGBA)
+	Text(x, y int, s string, scale int, col color.RGBA)
+}
 
 // Render rasterises a scene to an RGBA image at the scene's logical
 // resolution. Every element type has a drawing routine, so the output is
 // a real picture of the figure — the same picture a human (or a real VLM)
-// would be handed.
+// would be handed. The backing buffer comes from the shared pixel pool;
+// callers that own the result (it is not cache-shared) may hand it back
+// with ReleaseImage once done.
 func Render(s *Scene) *image.RGBA {
 	c := NewCanvas(s.Width, s.Height)
+	renderScene(c, s)
+	return c.Image()
+}
+
+// renderScene draws the title and every element on any raster surface.
+func renderScene(c raster, s *Scene) {
 	// Title along the top edge.
 	if s.Title != "" {
 		c.Text(8, 4, s.Title, 2, ColorBlack)
@@ -18,10 +45,9 @@ func Render(s *Scene) *image.RGBA {
 	for _, e := range s.Elements {
 		drawElement(c, e)
 	}
-	return c.Image()
 }
 
-func drawElement(c *Canvas, e Element) {
+func drawElement(c raster, e Element) {
 	x, y := int(e.X), int(e.Y)
 	x2, y2 := int(e.X2), int(e.Y2)
 	switch e.Type {
@@ -90,7 +116,7 @@ func drawElement(c *Canvas, e Element) {
 
 // drawGate draws a distinct shape per logic-gate kind so the gate type is
 // visually identifiable, matching how schematics are read.
-func drawGate(c *Canvas, e Element) {
+func drawGate(c raster, e Element) {
 	x, y := int(e.X), int(e.Y) // top-left of a nominal 40x30 gate body
 	const w, h = 40, 30
 	kind := e.Label
@@ -127,7 +153,7 @@ func drawGate(c *Canvas, e Element) {
 	}
 }
 
-func drawTransistor(c *Canvas, e Element) {
+func drawTransistor(c raster, e Element) {
 	x, y := int(e.X), int(e.Y) // gate contact position
 	pmos := e.Attrs["polarity"] == "pmos"
 	// Gate bar and channel bar.
@@ -150,7 +176,7 @@ func drawTransistor(c *Canvas, e Element) {
 	}
 }
 
-func drawResistor(c *Canvas, e Element) {
+func drawResistor(c raster, e Element) {
 	// Zigzag between (X,Y) and (X2,Y2).
 	x0, y0 := e.X, e.Y
 	x1, y1 := e.X2, e.Y2
@@ -179,7 +205,7 @@ func drawResistor(c *Canvas, e Element) {
 	}
 }
 
-func drawCapacitor(c *Canvas, e Element) {
+func drawCapacitor(c raster, e Element) {
 	x0, y0 := int(e.X), int(e.Y)
 	x1, y1 := int(e.X2), int(e.Y2)
 	mx, my := (x0+x1)/2, (y0+y1)/2
@@ -200,7 +226,7 @@ func drawCapacitor(c *Canvas, e Element) {
 	}
 }
 
-func drawInductor(c *Canvas, e Element) {
+func drawInductor(c raster, e Element) {
 	x0, y0 := int(e.X), int(e.Y)
 	x1 := int(e.X2)
 	// Horizontal coil of four bumps.
@@ -216,7 +242,7 @@ func drawInductor(c *Canvas, e Element) {
 	}
 }
 
-func drawSource(c *Canvas, e Element) {
+func drawSource(c raster, e Element) {
 	x, y := int(e.X), int(e.Y)
 	const r = 12
 	c.Circle(x, y, r, ColorBlack)

@@ -1,10 +1,14 @@
 #!/bin/sh
 # Record the repo's perf trajectory: time the evaluation engine
-# (Table II serial vs parallel, the cached resolution sweep, bootstrap
-# CI) and write a BENCH_N.json snapshot at the repo root.
+# (Table II serial vs parallel, the cached resolution sweep, the raster
+# kernel, bootstrap CI) and write a BENCH_N.json snapshot at the repo
+# root.
 #
 # Usage: scripts/bench.sh [N]   (default N=1 -> BENCH_1.json)
 set -e
 cd "$(dirname "$0")/.."
 N="${1:-1}"
+# Smoke-run every benchmark once first: a benchmark that panics or
+# b.Fatals must fail the script before a snapshot is written.
+go test -run '^$' -bench=. -benchtime=1x ./...
 go run ./cmd/chipvqa bench -o "BENCH_${N}.json"
