@@ -299,3 +299,19 @@ func TestSuiteCompareFacade(t *testing.T) {
 		t.Error("unknown model accepted")
 	}
 }
+
+func TestCategoriesFacade(t *testing.T) {
+	got := chipvqa.Categories()
+	want := dataset.Categories()
+	if len(got) != len(want) || len(got) != 5 {
+		t.Fatalf("Categories() returned %d categories, want 5", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Categories()[%d] = %v, want %v (canonical paper order)", i, got[i], want[i])
+		}
+	}
+	if got[0] != chipvqa.Digital || got[4] != chipvqa.Physical {
+		t.Errorf("canonical order must start with Digital and end with Physical: %v", got)
+	}
+}

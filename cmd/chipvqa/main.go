@@ -22,7 +22,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"testing"
-	"time"
 
 	"repro"
 	"repro/internal/agent"
@@ -284,11 +283,11 @@ func cmdRender(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := png.Encode(f, img); err != nil {
-			f.Close()
-			return err
+		err = png.Encode(f, img)
+		if cerr := f.Close(); err == nil {
+			err = cerr // a failed close loses buffered pixels; surface it
 		}
-		if err := f.Close(); err != nil {
+		if err != nil {
 			return err
 		}
 		count++
@@ -581,11 +580,11 @@ func cmdBench(args []string) error {
 	// once; the warm steady state reuses them across models and runs.
 	suite.Workers = -1
 	chipvqa.ResetRenderCache()
-	start := time.Now()
+	start := now()
 	if _, err := suite.EvaluateAtResolution("GPT4o", 16); err != nil {
 		return err
 	}
-	cold := time.Since(start)
+	cold := now().Sub(start)
 	res16 := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := suite.EvaluateAtResolution("GPT4o", 16); err != nil {
@@ -629,7 +628,7 @@ func cmdBench(args []string) error {
 
 	snap := benchSnapshot{
 		Schema:                  "chipvqa-bench/2",
-		Date:                    time.Now().UTC().Format("2006-01-02"),
+		Date:                    snapshotDate(),
 		GoMaxProcs:              runtime.GOMAXPROCS(0),
 		NumCPU:                  runtime.NumCPU(),
 		TableIISerialNsPerOp:    serial.NsPerOp(),

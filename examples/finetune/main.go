@@ -60,10 +60,14 @@ func main() {
 	fmt.Printf("\nreference: GPT-4o on the standard collection: %.2f\n", gpt4o.Pass1())
 }
 
-// subset takes the first n questions per category from the pool.
+// subset takes the first n questions per category from the pool,
+// walking categories in canonical order so the subset's question order
+// (and therefore every downstream report) is deterministic.
 func subset(pool *chipvqa.Benchmark, n int) *chipvqa.Benchmark {
 	out := &chipvqa.Benchmark{Name: fmt.Sprintf("train-%d", n)}
-	for _, qs := range pool.ByCategory() {
+	by := pool.ByCategory()
+	for _, c := range chipvqa.Categories() {
+		qs := by[c]
 		k := n
 		if k > len(qs) {
 			k = len(qs)

@@ -37,7 +37,9 @@ func main() {
 		if err := png.Encode(file, img); err != nil {
 			log.Fatal(err)
 		}
-		file.Close()
+		if err := file.Close(); err != nil {
+			log.Fatal(err)
+		}
 		b := img.Bounds()
 		fmt.Printf("wrote %s (%dx%d)\n", path, b.Dx(), b.Dy())
 	}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fakeReports builds a pair of report lists whose per-category maps
+// have entries for every discipline, so any map-iteration-order
+// dependence in the formatters would show up as run-to-run drift.
+func fakeReports() ([]*Report, []*Report) {
+	cats := dataset.Categories()
+	mk := func(name string, bias int) *Report {
+		r := &Report{ModelName: name}
+		for qi := 0; qi < 20; qi++ {
+			r.Results = append(r.Results, QuestionResult{
+				QuestionID: string(rune('a'+qi%5)) + "0" + string(rune('0'+qi%10)),
+				Category:   cats[qi%len(cats)],
+				Correct:    (qi+bias)%3 != 0,
+			})
+		}
+		return r
+	}
+	with := []*Report{mk("ModelA", 0), mk("ModelB", 1), mk("ModelC", 2)}
+	without := []*Report{mk("ModelA", 1), mk("ModelB", 2), mk("ModelC", 0)}
+	return with, without
+}
+
+// TestFormatTableIIByteStable is the regression test behind the
+// maporder audit of Pass1ByCategory: the Table II formatter consumes
+// the per-category map strictly through the canonical category order,
+// so repeated renders must be byte-identical.
+func TestFormatTableIIByteStable(t *testing.T) {
+	with, without := fakeReports()
+	first := FormatTableII(with, without)
+	for i := 0; i < 50; i++ {
+		w2, n2 := fakeReports() // fresh maps, fresh iteration order
+		if got := FormatTableII(w2, n2); got != first {
+			t.Fatalf("FormatTableII drifted on run %d:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	if !strings.Contains(first, "ModelA") {
+		t.Fatalf("formatter lost model names:\n%s", first)
+	}
+}
+
+// TestFormatItemReportByteStable guards the DifficultySpread map path:
+// the spread is keyed by category but rendered in dataset.Categories()
+// order, so the item report must be byte-stable too.
+func TestFormatItemReportByteStable(t *testing.T) {
+	with, _ := fakeReports()
+	items, err := ItemAnalysis(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := FormatItemReport(items, 5)
+	for i := 0; i < 50; i++ {
+		items2, err := ItemAnalysis(with)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := FormatItemReport(items2, 5); got != first {
+			t.Fatalf("FormatItemReport drifted on run %d", i)
+		}
+	}
+}
+
+// TestPass1ByCategoryCoversAllObservedCategories pins the shape of the
+// map the formatters consume: exactly the categories present in the
+// results, with correct ratios.
+func TestPass1ByCategoryCoversAllObservedCategories(t *testing.T) {
+	with, _ := fakeReports()
+	by := with[0].Pass1ByCategory()
+	if len(by) != len(dataset.Categories()) {
+		t.Fatalf("Pass1ByCategory has %d categories, want %d", len(by), len(dataset.Categories()))
+	}
+	for c, v := range by {
+		if v < 0 || v > 1 {
+			t.Fatalf("Pass1ByCategory[%v] = %v out of range", c, v)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Directive is a parsed suppression comment. The only form accepted is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// which silences the named analyzers on the line the comment is attached
+// to: the same line for a trailing comment, the next code line for a
+// comment on its own line. The reason is mandatory — an unexplained
+// suppression is itself a finding.
+type Directive struct {
+	// Analyzers lists the analyzer names being silenced.
+	Analyzers []string
+	// Reason is the free-text justification (never empty).
+	Reason string
+}
+
+// directivePrefix marks a lint control comment. Anything that starts
+// with it must parse as a valid directive; malformed control comments
+// are reported rather than silently ignored, so a typo can never
+// accidentally disable a check.
+const directivePrefix = "//lint:"
+
+// IsDirective reports whether the comment text claims to be a lint
+// control comment (and therefore must parse).
+func IsDirective(comment string) bool {
+	return strings.HasPrefix(strings.TrimSpace(comment), directivePrefix)
+}
+
+// ParseDirective parses a `//lint:ignore` comment. It never panics on
+// malformed input: the build gate runs it over every comment in the
+// module, so a garbage directive must come back as an error, not a
+// crash (see FuzzParseDirective).
+func ParseDirective(comment string) (Directive, error) {
+	text := strings.TrimSpace(comment)
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, fmt.Errorf("not a lint directive")
+	}
+	rest := text[len(directivePrefix):]
+	verb, args, _ := strings.Cut(rest, " ")
+	if verb != "ignore" {
+		return Directive{}, fmt.Errorf("unknown lint directive %q (only //lint:ignore is supported)", verb)
+	}
+	names, reason, ok := strings.Cut(strings.TrimSpace(args), " ")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return Directive{}, fmt.Errorf("//lint:ignore needs an analyzer name and a reason")
+	}
+	var analyzers []string
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return Directive{}, fmt.Errorf("//lint:ignore has an empty analyzer name in %q", names)
+		}
+		if !validAnalyzerName(n) {
+			return Directive{}, fmt.Errorf("//lint:ignore has a malformed analyzer name %q", n)
+		}
+		analyzers = append(analyzers, n)
+	}
+	if len(analyzers) == 0 {
+		return Directive{}, fmt.Errorf("//lint:ignore names no analyzers")
+	}
+	return Directive{Analyzers: analyzers, Reason: strings.TrimSpace(reason)}, nil
+}
+
+// validAnalyzerName restricts names to the lowercase-identifier shape
+// every shipped analyzer uses, so "nodeterm." or "no determ" are caught
+// as typos instead of becoming suppressions that match nothing.
+func validAnalyzerName(s string) bool {
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '-' && r != '_' {
+			return false
+		}
+	}
+	return s != ""
+}

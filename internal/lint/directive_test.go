@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in        string
+		analyzers []string
+		reason    string
+		wantErr   bool
+	}{
+		{"//lint:ignore nodeterm bench timestamps are cosmetic", []string{"nodeterm"}, "bench timestamps are cosmetic", false},
+		{"//lint:ignore nodeterm,errdrop shared reason", []string{"nodeterm", "errdrop"}, "shared reason", false},
+		{"  //lint:ignore maporder leading space ok  ", []string{"maporder"}, "leading space ok", false},
+		{"//lint:ignore nodeterm", nil, "", true},           // no reason
+		{"//lint:ignore  ", nil, "", true},                  // no analyzer
+		{"//lint:ignore nodeterm, x y", nil, "", true},      // empty name in list
+		{"//lint:ignore NoDeterm reason", nil, "", true},    // uppercase name
+		{"//lint:disable nodeterm reason", nil, "", true},   // unknown verb
+		{"//lint:", nil, "", true},
+		{"// ordinary comment", nil, "", true},
+	}
+	for _, c := range cases {
+		d, err := ParseDirective(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseDirective(%q): want error, got %+v", c.in, d)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDirective(%q): %v", c.in, err)
+			continue
+		}
+		if strings.Join(d.Analyzers, ",") != strings.Join(c.analyzers, ",") || d.Reason != c.reason {
+			t.Errorf("ParseDirective(%q) = %+v, want %v %q", c.in, d, c.analyzers, c.reason)
+		}
+	}
+}
+
+// FuzzParseDirective guards the build gate's weakest point: the
+// directive parser sees every //lint: comment in the module, so
+// malformed input must come back as an error, never a panic, and
+// accepted directives must satisfy the documented invariants.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//lint:ignore nodeterm a reason")
+	f.Add("//lint:ignore a,b,c spaced   reason  here")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore ,,, x")
+	f.Add("//lint:\x00\xff")
+	f.Add("lint:ignore not a comment")
+	f.Add("//lint:ignore é unicode name")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDirective(s) // must never panic
+		if err != nil {
+			return
+		}
+		if len(d.Analyzers) == 0 {
+			t.Fatalf("ParseDirective(%q): accepted with no analyzers", s)
+		}
+		for _, a := range d.Analyzers {
+			if !validAnalyzerName(a) {
+				t.Fatalf("ParseDirective(%q): accepted invalid analyzer name %q", s, a)
+			}
+		}
+		if strings.TrimSpace(d.Reason) == "" {
+			t.Fatalf("ParseDirective(%q): accepted empty reason", s)
+		}
+	})
+}
+
+// parseRawPkg builds an untyped Package, enough for the suppression
+// machinery (which reads only Fset and Files).
+func parseRawPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "suppresstest", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestSuppressionPlacement(t *testing.T) {
+	src := `package p
+
+func a() {
+	trailing() //lint:ignore fake covered by trailing comment
+	//lint:ignore fake covered by own-line comment
+	ownline()
+	uncovered()
+	//lint:ignore other wrong analyzer name
+	wrongname()
+}
+
+//lint:ignore fake
+func malformed() {}
+`
+	pkg := parseRawPkg(t, src)
+
+	// A fake analyzer that reports once on every line 3..10.
+	fake := &Analyzer{Name: "fake", Run: func(pass *Pass) {
+		file := pass.Pkg.Fset.File(pass.Pkg.Files[0].Pos())
+		for line := 3; line <= 10; line++ {
+			pass.Reportf(file.LineStart(line), "finding on line %d", line)
+		}
+	}}
+	diags := Run([]*Package{pkg}, []*Analyzer{fake})
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+":"+d.Message)
+	}
+	// Lines 4 (trailing) and 6 (own-line target) are suppressed; the
+	// malformed directive at line 11 is itself reported.
+	want := []string{
+		"fake:finding on line 3",
+		"fake:finding on line 5", // the own-line directive's own line is not a target
+		"fake:finding on line 7",
+		"fake:finding on line 8",
+		"fake:finding on line 9",
+		"fake:finding on line 10",
+		"directive://lint:ignore needs an analyzer name and a reason",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(got), got, len(want))
+	}
+	sortStrings(got)
+	sortStrings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

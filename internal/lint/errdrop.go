@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags silently discarded error results in non-test code: a
+// call whose error result is dropped on the floor either as a bare
+// statement or through a blank identifier. Blessed idioms that stay
+// legal:
+//
+//   - `_, _ = h.Write(...)` — the hash-write idiom (hash.Hash.Write is
+//     documented to never fail); any all-blank assignment whose callee
+//     is a Write* method qualifies;
+//   - fmt.Print/Fprint console output as a bare statement;
+//   - strings.Builder / bytes.Buffer writes (documented to never fail);
+//   - deferred calls (`defer f.Close()`), which are conventional and
+//     need interprocedural flow to check meaningfully;
+//   - _test.go files (excluded by the loader).
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded error results outside test files, excluding the blessed " +
+		"`_, _ =` hash-write idiom, fmt console output, builder writes and deferred calls",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				return false
+			case *ast.ExprStmt:
+				checkBareCall(pass, n)
+			case *ast.AssignStmt:
+				checkBlankError(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBareCall flags expression statements whose call produces an
+// error nobody looks at.
+func checkBareCall(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call]
+	if !ok || !resultHasError(tv.Type) {
+		return
+	}
+	fn := calleeOf(info, call)
+	if isConsoleOutput(fn) || isInfallibleWriter(fn) {
+		return
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is silently dropped; handle it or assign it explicitly",
+		exprString(call.Fun))
+}
+
+// checkBlankError flags assignments that route an error result into the
+// blank identifier.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	info := pass.Pkg.Info
+	// The blessed hash-write idiom: every result blank and the callee a
+	// Write* method.
+	if allBlank(as.Lhs) && len(as.Rhs) == 1 {
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if fn := calleeOf(info, call); fn != nil && recvNamed(fn) != nil && hasPrefixAny(fn.Name(), "Write") {
+				return
+			}
+		}
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment from one call: match blanks to result types.
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && types.Identical(tuple.At(i).Type(), errorType) {
+				pass.Reportf(lhs.Pos(), "error result of %s discarded with _; handle it or document why it cannot fail",
+					exprString(call.Fun))
+			}
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			tv, ok := info.Types[as.Rhs[i]]
+			if ok && tv.Type != nil && types.Identical(tv.Type, errorType) {
+				pass.Reportf(lhs.Pos(), "error value discarded with _; handle it or document why it cannot fail")
+			}
+		}
+	}
+}
+
+// resultHasError reports whether a call's result type is or contains
+// error.
+func resultHasError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// isConsoleOutput reports whether fn is fmt's print family — the repo's
+// idiomatic console output, whose error return (a broken stdout pipe)
+// is not actionable.
+func isConsoleOutput(fn *types.Func) bool {
+	return fn != nil && pkgOf(fn) == "fmt" && hasPrefixAny(fn.Name(), "Print", "Fprint")
+}
+
+// isInfallibleWriter reports whether fn is a strings.Builder or
+// bytes.Buffer write, both documented to never return an error.
+func isInfallibleWriter(fn *types.Func) bool {
+	if fn == nil || !hasPrefixAny(fn.Name(), "Write") {
+		return false
+	}
+	return isMethodOn(fn, "strings", "Builder", fn.Name()) || isMethodOn(fn, "bytes", "Buffer", fn.Name())
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		if !isBlank(e) {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,184 @@
+// Package lint is a small stdlib-only static-analysis framework plus the
+// repo-specific analyzers that machine-check the reproduction's
+// determinism and buffer-lifecycle invariants.
+//
+// The evaluation engine's core guarantee — parallel runs byte-identical
+// to serial ones (DESIGN.md §6/§7, TestTableIIDeterministicAcrossWorkers)
+// — rests on conventions: all randomness flows through internal/rng, no
+// wall clock or map-iteration order reaches report output, and pooled
+// pixel buffers obey the ownership contract of internal/visual/pool.go.
+// The analyzers here turn those conventions into compile-time checks run
+// by cmd/chipvqa-lint on every build (tier-1 verify).
+//
+// The framework is deliberately minimal: a type-checked package loader
+// (load.go) built on go/parser + go/types with a source-mode stdlib
+// importer (no golang.org/x/tools dependency), an Analyzer interface, a
+// `//lint:ignore <name> <reason>` suppression mechanism, and a
+// `// want "regexp"` expectation harness for corpus tests (linttest.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// comments. Lowercase identifier, e.g. "nodeterm".
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Diagnostic is one finding, attributed to an analyzer and a position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the classic file:line:col form the
+// driver prints and the corpus harness matches against.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags    *[]Diagnostic
+	suppress map[suppressKey]bool
+}
+
+// suppressKey identifies one (file, line, analyzer) suppression target.
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Reportf records a finding at pos unless a //lint:ignore directive for
+// this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.suppress[suppressKey{position.Filename, position.Line, p.Analyzer.Name}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every shipped analyzer, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterm, MapOrder, PoolOwn, ErrDrop}
+}
+
+// Run executes the analyzers over the packages and returns all findings
+// sorted by position. Malformed //lint: control comments are reported as
+// findings of the pseudo-analyzer "directive", so a typo in a
+// suppression can never silently disable a check.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppress, bad := collectSuppressions(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, suppress: suppress}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// collectSuppressions scans a package's comments for //lint:ignore
+// directives and returns the suppression set plus diagnostics for any
+// malformed //lint: comment. A trailing comment suppresses its own
+// line; a comment on its own line suppresses the next line.
+func collectSuppressions(pkg *Package) (map[suppressKey]bool, []Diagnostic) {
+	suppress := make(map[suppressKey]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !IsDirective(c.Text) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d, err := ParseDirective(c.Text)
+				if err != nil {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  err.Error(),
+					})
+					continue
+				}
+				line := pos.Line
+				if !commentTrailsCode(pkg.Fset, f, c) {
+					line++
+				}
+				for _, name := range d.Analyzers {
+					suppress[suppressKey{pos.Filename, line, name}] = true
+				}
+			}
+		}
+	}
+	return suppress, bad
+}
+
+// commentTrailsCode reports whether the comment shares its line with
+// code (a trailing comment) rather than standing on a line of its own.
+func commentTrailsCode(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	trails := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || trails {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return false
+		}
+		if fset.Position(n.End()).Line == line && n.End() <= c.Pos() {
+			trails = true
+		}
+		return !trails
+	})
+	return trails
+}
+
+// isTestFile reports whether the file position belongs to a _test.go
+// file. The loader excludes test files, but analyzers guard anyway so
+// they stay correct if handed a test-inclusive package.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body produces ordered output
+// — the classic nondeterministic-report bug: Go randomizes map
+// iteration order, so appending to an outer slice, printing, writing a
+// strings.Builder/bytes.Buffer, or plain-assigning an outer struct
+// field (last writer wins) from inside the loop yields output that
+// differs run to run.
+//
+// Order-independent bodies stay legal and are not flagged: writing into
+// another map, commutative accumulation (x += v, counters), and the
+// canonical fix itself — collecting keys into a slice that is sorted
+// later in the same function (`for k := range m { keys = append(keys, k) };
+// sort.Strings(keys)`).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags map iteration that appends to an outer slice (without a later sort), prints, " +
+		"writes a builder, or plain-assigns an outer field — sort the keys first",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					mapOrderBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				mapOrderBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mapOrderBody checks every map-range statement directly inside one
+// function body (nested function literals are visited separately).
+func mapOrderBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rs)
+		return true
+	})
+}
+
+// checkMapRangeBody reports every ordered sink inside one map-range
+// body.
+func checkMapRangeBody(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // does not execute as part of the iteration
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, funcBody, rs, n)
+		case *ast.AssignStmt:
+			// Plain `=` into an outer struct field is last-writer-wins
+			// under random iteration order. Compound assignments
+			// (+=, |=, ...) are treated as commutative accumulation.
+			if n.Tok != token.ASSIGN {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				sel, ok := unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				base, ok := unparen(sel.X).(*ast.Ident)
+				if !ok || !declaredOutside(info, base, rs) {
+					continue
+				}
+				pass.Reportf(lhs.Pos(),
+					"assigns %s.%s inside map iteration (last writer wins under random order); sort the keys first",
+					base.Name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeCall flags one call expression inside a map-range body
+// if it is an ordered sink.
+func checkMapRangeCall(pass *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	// append whose destination outlives the loop and is never sorted
+	// afterwards.
+	if isBuiltin(info, call, "append") && len(call.Args) > 0 {
+		dst, ok := unparen(call.Args[0]).(*ast.Ident)
+		if ok && declaredOutside(info, dst, rs) && !sortedAfter(info, funcBody, rs, dst) {
+			pass.Reportf(call.Pos(),
+				"appends to %s inside map iteration; element order follows the random map order — sort %s or the keys first",
+				dst.Name, dst.Name)
+		}
+		return
+	}
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return
+	}
+	// fmt output functions emit one record per iteration, in map order.
+	if pkgOf(fn) == "fmt" && hasPrefixAny(fn.Name(), "Print", "Fprint") {
+		pass.Reportf(call.Pos(),
+			"fmt.%s inside map iteration prints in random order; sort the keys first", fn.Name())
+		return
+	}
+	// Builder/buffer writes accumulate ordered bytes.
+	if hasPrefixAny(fn.Name(), "Write") &&
+		(isMethodOn(fn, "strings", "Builder", fn.Name()) || isMethodOn(fn, "bytes", "Buffer", fn.Name())) {
+		pass.Reportf(call.Pos(),
+			"%s.%s inside map iteration accumulates bytes in random order; sort the keys first",
+			recvNamed(fn).Obj().Name(), fn.Name())
+	}
+}
+
+// isSortCall reports whether fn is recognized as sorting its first
+// argument: anything from the sort/slices packages (sort.Strings,
+// slices.Sort, ...) or any function whose name mentions "sort" — the
+// repo's stdlib-avoidant helpers (insertionSortInts and friends)
+// qualify by name.
+func isSortCall(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if p := pkgOf(fn); p == "sort" || p == "slices" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+// sortedAfter reports whether dst is passed as first argument to a
+// recognized sort function later in the same function body — the
+// second half of the canonical collect-then-sort fix.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rs *ast.RangeStmt, dst *ast.Ident) bool {
+	obj := info.Uses[dst]
+	if obj == nil {
+		obj = info.Defs[dst]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if !isSortCall(fn) {
+			return true
+		}
+		if id, ok := unparen(call.Args[0]).(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

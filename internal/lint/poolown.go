@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolOwn machine-checks the pixel-pool ownership contract documented
+// in internal/visual/pool.go:
+//
+//   - Images returned by the scene cache (SceneCache.Render,
+//     SceneCache.Downsampled, CachedRender, CachedDownsample,
+//     chipvqa.QuestionImage) are shared; releasing one hands a live
+//     cached buffer back to the pool and corrupts every later reader.
+//   - Images returned by Render, Downsample, Clone and RenderQuestion
+//     are caller-owned and may be released exactly once.
+//   - After ReleaseImage(v), v must not be released again, returned, or
+//     stored into a field — its Pix is gone.
+//
+// The check is an intraprocedural must-analysis: variable states
+// (owned / shared / released) flow through straight-line code, both
+// branches of an if/switch are analyzed and re-joined (a fact must hold
+// on every path to survive the join), and loop bodies are analyzed
+// conservatively without iterating.
+var PoolOwn = &Analyzer{
+	Name: "poolown",
+	Doc: "enforces the pixel-pool ownership contract: never release cache-shared images, " +
+		"never double-release, never use a released image",
+	Run: runPoolOwn,
+}
+
+// ownState is the per-variable lattice of the poolown analysis.
+type ownState int
+
+const (
+	ownUnknown ownState = iota
+	ownOwned            // caller-owned pooled image; releasable once
+	ownShared           // cache-shared image; must never be released
+	ownReleased         // already handed back to the pool
+)
+
+// poolEnv maps image variables to their ownership state.
+type poolEnv map[*types.Var]ownState
+
+func (e poolEnv) clone() poolEnv {
+	c := make(poolEnv, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// join merges two branch environments into the must-intersection:
+// a state survives only if both paths agree on it.
+func (e poolEnv) join(a, b poolEnv) {
+	for k := range e {
+		delete(e, k)
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; ok && va == vb {
+			e[k] = va
+		}
+	}
+}
+
+func runPoolOwn(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					w := &poolWalker{pass: pass}
+					w.block(make(poolEnv), n.Body.List)
+				}
+				return false
+			case *ast.FuncLit:
+				w := &poolWalker{pass: pass}
+				w.block(make(poolEnv), n.Body.List)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// poolWalker carries the analysis through one function body.
+type poolWalker struct {
+	pass *Pass
+}
+
+func (w *poolWalker) info() *types.Info { return w.pass.Pkg.Info }
+
+// block analyzes a statement sequence, threading env through it.
+func (w *poolWalker) block(env poolEnv, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.stmt(env, s)
+	}
+}
+
+func (w *poolWalker) stmt(env poolEnv, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(env, s)
+	case *ast.ExprStmt:
+		w.expr(env, s.X)
+	case *ast.DeferStmt:
+		w.expr(env, s.Call)
+	case *ast.GoStmt:
+		w.expr(env, s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if id, ok := unparen(r).(*ast.Ident); ok {
+				if v := w.varOf(id); v != nil && env[v] == ownReleased {
+					w.pass.Reportf(r.Pos(),
+						"%s escapes via return after ReleaseImage; its pixel buffer is back in the pool", id.Name)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(env, s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(env, s.Init)
+		}
+		w.expr(env, s.Cond)
+		thenEnv := env.clone()
+		w.block(thenEnv, s.Body.List)
+		elseEnv := env.clone()
+		if s.Else != nil {
+			w.stmt(elseEnv, s.Else)
+		}
+		env.join(thenEnv, elseEnv)
+	case *ast.ForStmt:
+		// One-shot conservative pass over the body: releases inside the
+		// loop are checked against the entry state but do not leak out
+		// (the loop may run zero times).
+		if s.Init != nil {
+			w.stmt(env, s.Init)
+		}
+		w.block(env.clone(), s.Body.List)
+	case *ast.RangeStmt:
+		w.block(env.clone(), s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(env, s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(env.clone(), cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(env.clone(), cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(env, s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							w.bind(env, name, vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// assign classifies RHS producers into variable states and checks
+// field stores of released images.
+func (w *poolWalker) assign(env poolEnv, s *ast.AssignStmt) {
+	for _, r := range s.Rhs {
+		w.expr(env, r)
+	}
+	for i, lhs := range s.Lhs {
+		if sel, ok := unparen(lhs).(*ast.SelectorExpr); ok {
+			// x.f = v where v was released: escaping dead buffer.
+			if i < len(s.Rhs) {
+				if id, ok := unparen(s.Rhs[i]).(*ast.Ident); ok {
+					if v := w.varOf(id); v != nil && env[v] == ownReleased {
+						w.pass.Reportf(s.Rhs[i].Pos(),
+							"%s escapes via field store %s after ReleaseImage", id.Name, exprString(sel))
+					}
+				}
+			}
+			continue
+		}
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		v := w.varOf(id)
+		if v == nil {
+			continue
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			env[v] = w.classify(env, s.Rhs[i])
+		} else {
+			delete(env, v) // multi-value assignment: unknown
+		}
+		if env[v] == ownUnknown {
+			delete(env, v)
+		}
+	}
+}
+
+// bind handles `var v = expr` declarations.
+func (w *poolWalker) bind(env poolEnv, name *ast.Ident, val ast.Expr) {
+	w.expr(env, val)
+	if v := w.varOf(name); v != nil {
+		if st := w.classify(env, val); st != ownUnknown {
+			env[v] = st
+		}
+	}
+}
+
+// classify determines the ownership state an expression's value carries.
+func (w *poolWalker) classify(env poolEnv, e ast.Expr) ownState {
+	switch e := unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := calleeOf(w.info(), e)
+		switch {
+		case isSharedProducer(fn):
+			return ownShared
+		case isOwnedProducer(fn):
+			return ownOwned
+		}
+	case *ast.Ident:
+		if v := w.varOf(e); v != nil {
+			return env[v] // aliasing propagates the state
+		}
+	}
+	return ownUnknown
+}
+
+// expr scans an expression tree for ReleaseImage calls and applies
+// their effects; nested function literals are skipped.
+func (w *poolWalker) expr(env poolEnv, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeOf(w.info(), call); isFuncIn(fn, "internal/visual", "ReleaseImage") && len(call.Args) == 1 {
+			w.release(env, call.Args[0])
+		}
+		return true
+	})
+}
+
+// release applies ReleaseImage(arg) to the environment and reports
+// contract violations.
+func (w *poolWalker) release(env poolEnv, arg ast.Expr) {
+	switch arg := unparen(arg).(type) {
+	case *ast.CallExpr:
+		if fn := calleeOf(w.info(), arg); isSharedProducer(fn) {
+			w.pass.Reportf(arg.Pos(),
+				"releasing the shared cached image returned by %s; cache-owned buffers must never be released", fn.Name())
+		}
+	case *ast.Ident:
+		v := w.varOf(arg)
+		if v == nil {
+			return
+		}
+		switch env[v] {
+		case ownShared:
+			w.pass.Reportf(arg.Pos(),
+				"releasing %s, which holds a shared cache-owned image; only Render/Downsample/Clone results may be released", arg.Name)
+		case ownReleased:
+			w.pass.Reportf(arg.Pos(), "double release of %s on this path", arg.Name)
+		default:
+			env[v] = ownReleased
+		}
+	}
+}
+
+// varOf resolves an identifier to its variable object.
+func (w *poolWalker) varOf(id *ast.Ident) *types.Var {
+	obj := w.info().Uses[id]
+	if obj == nil {
+		obj = w.info().Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// isSharedProducer reports whether fn returns a cache-shared image that
+// must never be released (see internal/visual/pool.go's contract).
+func isSharedProducer(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return isFuncIn(fn, "internal/visual", "CachedRender") ||
+		isFuncIn(fn, "internal/visual", "CachedDownsample") ||
+		isMethodOn(fn, "internal/visual", "SceneCache", "Render") ||
+		isMethodOn(fn, "internal/visual", "SceneCache", "Downsampled") ||
+		(fn.Name() == "QuestionImage" && fn.Pkg() != nil && fn.Pkg().Name() == "chipvqa")
+}
+
+// isOwnedProducer reports whether fn returns a caller-owned pooled
+// image the caller may release exactly once.
+func isOwnedProducer(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return isFuncIn(fn, "internal/visual", "Render") ||
+		isFuncIn(fn, "internal/visual", "Downsample") ||
+		isFuncIn(fn, "internal/visual", "Clone") ||
+		(fn.Name() == "RenderQuestion" && fn.Pkg() != nil && fn.Pkg().Name() == "chipvqa")
+}

@@ -1,0 +1,54 @@
+// Corpus for the errdrop analyzer: silently discarded errors, next to
+// the blessed idioms that must stay clean.
+package errdroptest
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func bareStatementDrop(name string) {
+	os.Remove(name) // want `result of os\.Remove includes an error that is silently dropped`
+}
+
+func blankInTuple(s string) int {
+	n, _ := strconv.Atoi(s) // want `error result of strconv\.Atoi discarded with _`
+	return n
+}
+
+func directBlankAssign(f *os.File) {
+	_ = f.Close() // want `error value discarded with _`
+}
+
+func blessedHashWrite(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p)) // blessed hash-write idiom: no finding
+	}
+	return h.Sum64()
+}
+
+func consoleOutputIsFine(sb *strings.Builder) {
+	fmt.Println("progress")
+	fmt.Fprintf(os.Stderr, "warning\n")
+	sb.WriteString("builders never fail")
+}
+
+func deferredCloseIsConventional(f *os.File) {
+	defer f.Close()
+}
+
+func handled(name string) error {
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("cleanup: %w", err)
+	}
+	return nil
+}
+
+func suppressedDrop(name string) {
+	//lint:ignore errdrop corpus case: best-effort cleanup, absence is fine
+	os.Remove(name)
+}

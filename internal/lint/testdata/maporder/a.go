@@ -1,0 +1,77 @@
+// Corpus for the maporder analyzer: map iteration feeding ordered
+// sinks, plus the canonical collect-then-sort fix that must stay clean.
+package mapordertest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func appendsUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out inside map iteration`
+	}
+	return out
+}
+
+func printsPerEntry(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration prints in random order`
+	}
+}
+
+func buildsReport(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want `Builder\.WriteString inside map iteration accumulates bytes in random order`
+	}
+	return sb.String()
+}
+
+type summary struct{ Winner string }
+
+func lastWriterWins(m map[string]int, s *summary) {
+	for k := range m {
+		s.Winner = k // want `assigns s\.Winner inside map iteration \(last writer wins`
+	}
+}
+
+// sortedKeys is the canonical fix: the appended slice is sorted before
+// anything consumes it, so no finding.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapToMap is order-independent: writing into another map is legal.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// accumulate is commutative accumulation over ints: legal.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore maporder corpus case, caller sorts the result
+		out = append(out, k)
+	}
+	return out
+}

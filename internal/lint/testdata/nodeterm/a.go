@@ -1,0 +1,39 @@
+// Corpus for the nodeterm analyzer: wall-clock reads, environment
+// lookups and ad-hoc generators outside the blessed seams. Mirrors the
+// pre-fix state of cmd/chipvqa/main.go, whose bench command read
+// time.Now directly before the clock.go seam existed.
+package nodetermtest
+
+import (
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+func ambientEnv() string {
+	return os.Getenv("CHIPVQA_SEED") // want `os\.Getenv makes output depend on ambient environment`
+}
+
+func adHocGenerator() int {
+	gen := rand.New(rand.NewPCG(1, 2)) // want `direct math/rand/v2 use` `direct math/rand/v2 use`
+	return gen.IntN(6)
+}
+
+func suppressedWithReason() time.Time {
+	//lint:ignore nodeterm corpus case demonstrating an explained suppression
+	return time.Now()
+}
+
+// okDuration only manipulates time values, never reads the clock.
+func okDuration(d time.Duration) time.Duration {
+	return d * 2
+}

@@ -1,0 +1,12 @@
+// clock.go is the blessed injectable wall-clock seam: nodeterm skips
+// files with this name, so the one `var now = time.Now` assignment that
+// tests can override lives here without a suppression comment.
+package nodetermtest
+
+import "time"
+
+var now = time.Now
+
+func stamped() string {
+	return now().UTC().Format(time.RFC3339)
+}

@@ -1,0 +1,88 @@
+// Corpus for the poolown analyzer: violations of the pixel-pool
+// ownership contract documented in internal/visual/pool.go, next to the
+// legitimate lifecycles that must stay clean.
+package poolowntest
+
+import (
+	"image"
+
+	chipvqa "repro"
+	"repro/internal/visual"
+)
+
+func releasesCachedVariable(s *visual.Scene) {
+	img := visual.CachedRender(s)
+	visual.ReleaseImage(img) // want `releasing img, which holds a shared cache-owned image`
+}
+
+func releasesCachedDirect(s *visual.Scene) {
+	visual.ReleaseImage(visual.CachedDownsample(s, 8)) // want `releasing the shared cached image returned by CachedDownsample`
+}
+
+func releasesQuestionImage(q *chipvqa.Question) {
+	img := chipvqa.QuestionImage(q, 8)
+	visual.ReleaseImage(img) // want `releasing img, which holds a shared cache-owned image`
+}
+
+func releasesCacheMethodResult(c *visual.SceneCache, s *visual.Scene) {
+	img := c.Downsampled(s, 16)
+	visual.ReleaseImage(img) // want `releasing img, which holds a shared cache-owned image`
+}
+
+func releasesSharedAlias(s *visual.Scene) {
+	img := visual.CachedRender(s)
+	view := img
+	visual.ReleaseImage(view) // want `releasing view, which holds a shared cache-owned image`
+}
+
+func doubleRelease(s *visual.Scene) {
+	img := visual.Render(s)
+	visual.ReleaseImage(img)
+	visual.ReleaseImage(img) // want `double release of img on this path`
+}
+
+func doubleReleaseAfterJoin(s *visual.Scene, cond bool) {
+	img := visual.Render(s)
+	if cond {
+		visual.ReleaseImage(img)
+	} else {
+		visual.ReleaseImage(img)
+	}
+	visual.ReleaseImage(img) // want `double release of img on this path`
+}
+
+func returnsReleased(s *visual.Scene) *image.RGBA {
+	img := visual.Render(s)
+	visual.ReleaseImage(img)
+	return img // want `img escapes via return after ReleaseImage`
+}
+
+type frameHolder struct{ frame *image.RGBA }
+
+func storesReleased(s *visual.Scene, h *frameHolder) {
+	img := visual.Render(s)
+	visual.ReleaseImage(img)
+	h.frame = img // want `img escapes via field store h\.frame after ReleaseImage`
+}
+
+// legitimateLifecycle exercises every legal pattern: releasing owned
+// render/downsample/clone results exactly once, reassignment clearing
+// the released state, and a single-branch release.
+func legitimateLifecycle(s *visual.Scene, cond bool) *image.RGBA {
+	img := visual.Render(s)
+	visual.ReleaseImage(img)
+	img = visual.Downsample(visual.CachedRender(s), 8)
+	visual.ReleaseImage(img)
+	clone := visual.Clone(visual.CachedRender(s))
+	if cond {
+		visual.ReleaseImage(clone)
+		return nil
+	}
+	return clone
+}
+
+func suppressedRelease(s *visual.Scene) {
+	img := visual.CachedRender(s)
+	//lint:ignore poolown corpus case demonstrating an explained suppression
+	visual.ReleaseImage(img)
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Run the repo's determinism / buffer-lifecycle analyzers
+# (cmd/chipvqa-lint) over the whole module. Part of tier-1 verify; see
+# DESIGN.md §9 for what each analyzer enforces and the
+# `//lint:ignore <analyzer> <reason>` suppression policy.
+#
+# Usage: scripts/lint.sh [-only analyzer[,analyzer...]]
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/chipvqa-lint "$@" ./...
