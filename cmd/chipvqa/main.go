@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"image/png"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -31,45 +34,60 @@ import (
 	"repro/internal/vlm"
 )
 
+// Exit codes follow the chipvqa-lint contract: 0 success, 1 runtime
+// failure (including an interrupted evaluation, which still prints the
+// partial report it has), 2 usage error. flag.ExitOnError FlagSets
+// (newFlagSet) exit 2 with usage on stderr by construction.
 func main() {
 	if len(os.Args) < 2 {
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
+	// SIGINT cancels the run's context: evaluation commands drain
+	// cooperatively and report the consistent partial prefix they have
+	// instead of dying mid-sweep. Once the context is cancelled, stop()
+	// restores default signal handling so a second SIGINT kills the
+	// process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "stats":
-		err = cmdStats(args)
+		err = cmdStats(ctx, args)
 	case "eval":
-		err = cmdEval(args)
+		err = cmdEval(ctx, args)
 	case "challenge":
-		err = cmdChallenge(args)
+		err = cmdChallenge(ctx, args)
 	case "agent":
-		err = cmdAgent(args)
+		err = cmdAgent(ctx, args)
 	case "resolution":
-		err = cmdResolution(args)
+		err = cmdResolution(ctx, args)
 	case "export":
-		err = cmdExport(args)
+		err = cmdExport(ctx, args)
 	case "render":
-		err = cmdRender(args)
+		err = cmdRender(ctx, args)
 	case "ask":
-		err = cmdAsk(args)
+		err = cmdAsk(ctx, args)
 	case "extended":
-		err = cmdExtended(args)
+		err = cmdExtended(ctx, args)
 	case "compare":
-		err = cmdCompare(args)
+		err = cmdCompare(ctx, args)
 	case "items":
-		err = cmdItems(args)
+		err = cmdItems(ctx, args)
 	case "finetune":
-		err = cmdFineTune(args)
+		err = cmdFineTune(ctx, args)
 	case "bench":
-		err = cmdBench(args)
+		err = cmdBench(ctx, args)
 	case "help", "-h", "--help":
-		usage()
+		usage(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "chipvqa: unknown command %q\n", cmd)
-		usage()
+		usage(os.Stderr)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -78,8 +96,21 @@ func main() {
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: chipvqa <command> [flags]
+// newFlagSet builds a subcommand FlagSet with the shared contract:
+// parse failures print the flag defaults to stderr and exit 2 (usage
+// error), matching chipvqa-lint.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chipvqa %s [flags]\n", name)
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: chipvqa <command> [flags]
 
 commands:
   stats        Table I statistics (-coverage for the Fig. 1/3 matrix)
@@ -105,8 +136,8 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "evaluation workers (0 = auto/GOMAXPROCS, 1 = serial)")
 }
 
-func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func cmdStats(ctx context.Context, args []string) error {
+	fs := newFlagSet("stats")
 	coverage := fs.Bool("coverage", false, "print the category x visual-type coverage matrix")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,8 +154,8 @@ func cmdStats(args []string) error {
 	return nil
 }
 
-func cmdEval(args []string) error {
-	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+func cmdEval(ctx context.Context, args []string) error {
+	fs := newFlagSet("eval")
 	gap := fs.Bool("gap", false, "print per-model MC-vs-SA gap instead of the full table")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -135,22 +166,28 @@ func cmdEval(args []string) error {
 		return err
 	}
 	suite.Workers = *workers
-	with, without := suite.TableII()
+	with, without, runErr := suite.TableIIContext(ctx)
 	if *gap {
 		fmt.Printf("%-20s %8s %8s %8s\n", "Model", "w/ MC", "w/o MC", "gap")
 		for i := range with {
 			w, n := with[i].Pass1(), without[i].Pass1()
 			fmt.Printf("%-20s %8.2f %8.2f %8.2f\n", with[i].ModelName, w, n, w-n)
 		}
-		return nil
+	} else {
+		fmt.Println("TABLE II  Zero-Shot Evaluation on ChipVQA (w/ and w/o multiple choice)")
+		fmt.Print(chipvqa.FormatTableII(with, without))
 	}
-	fmt.Println("TABLE II  Zero-Shot Evaluation on ChipVQA (w/ and w/o multiple choice)")
-	fmt.Print(chipvqa.FormatTableII(with, without))
+	if runErr != nil {
+		// Interrupted: the table above covers the deterministic prefix
+		// the pipeline finished; exit 1 per the CLI contract.
+		fmt.Println("(run interrupted — table covers the completed prefix only)")
+		return runErr
+	}
 	return nil
 }
 
-func cmdChallenge(args []string) error {
-	fs := flag.NewFlagSet("challenge", flag.ExitOnError)
+func cmdChallenge(ctx context.Context, args []string) error {
+	fs := newFlagSet("challenge")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,20 +198,28 @@ func cmdChallenge(args []string) error {
 	}
 	suite.Workers = *workers
 	var reports []*chipvqa.Report
+	var runErr error
 	for _, name := range suite.ModelNames() {
-		rep, err := suite.EvaluateChallenge(name)
+		rep, err := suite.EvaluateChallengeContext(ctx, name)
 		if err != nil {
-			return err
+			// Keep the partial report: the models (and questions) already
+			// judged still form a consistent prefix worth printing.
+			reports = append(reports, rep)
+			runErr = err
+			break
 		}
 		reports = append(reports, rep)
 	}
 	fmt.Println("ChipVQA challenge collection (all questions short answer)")
 	fmt.Print(chipvqa.FormatTableII(reports, nil))
-	return nil
+	if runErr != nil {
+		fmt.Println("(run interrupted — table covers the completed prefix only)")
+	}
+	return runErr
 }
 
-func cmdAgent(args []string) error {
-	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+func cmdAgent(ctx context.Context, args []string) error {
+	fs := newFlagSet("agent")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -184,7 +229,7 @@ func cmdAgent(args []string) error {
 		return err
 	}
 	suite.Workers = *workers
-	vals, err := suite.TableIII()
+	vals, err := suite.TableIIIContext(ctx)
 	if err != nil {
 		return err
 	}
@@ -197,8 +242,8 @@ func cmdAgent(args []string) error {
 	return nil
 }
 
-func cmdResolution(args []string) error {
-	fs := flag.NewFlagSet("resolution", flag.ExitOnError)
+func cmdResolution(ctx context.Context, args []string) error {
+	fs := newFlagSet("resolution")
 	model := fs.String("model", "GPT4o", "model to evaluate")
 	category := fs.String("category", "Digital", "category (short name) or 'all'")
 	workers := workersFlag(fs)
@@ -227,14 +272,17 @@ func cmdResolution(args []string) error {
 		if *workers == 0 {
 			r.Workers = -1 // auto
 		}
-		rep := r.Evaluate(m, sub)
+		rep, err := r.EvaluateContext(ctx, m, sub)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("  downsample %2dx: Pass@1 = %.2f\n", f, rep.Pass1())
 	}
 	return nil
 }
 
-func cmdExport(args []string) error {
-	fs := flag.NewFlagSet("export", flag.ExitOnError)
+func cmdExport(ctx context.Context, args []string) error {
+	fs := newFlagSet("export")
 	out := fs.String("o", "chipvqa.json", "output file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -255,8 +303,8 @@ func cmdExport(args []string) error {
 	return nil
 }
 
-func cmdRender(args []string) error {
-	fs := flag.NewFlagSet("render", flag.ExitOnError)
+func cmdRender(ctx context.Context, args []string) error {
+	fs := newFlagSet("render")
 	dir := fs.String("dir", "renders", "output directory")
 	factor := fs.Int("factor", 1, "downsample factor (1, 8, 16)")
 	only := fs.String("q", "", "render only this question ID")
@@ -296,8 +344,8 @@ func cmdRender(args []string) error {
 	return nil
 }
 
-func cmdAsk(args []string) error {
-	fs := flag.NewFlagSet("ask", flag.ExitOnError)
+func cmdAsk(ctx context.Context, args []string) error {
+	fs := newFlagSet("ask")
 	model := fs.String("model", "GPT4o", "model name")
 	qid := fs.String("q", "d01", "question ID")
 	useAgent := fs.Bool("agent", false, "route through the agent system")
@@ -352,8 +400,8 @@ func cmdAsk(args []string) error {
 	return nil
 }
 
-func cmdExtended(args []string) error {
-	fs := flag.NewFlagSet("extended", flag.ExitOnError)
+func cmdExtended(ctx context.Context, args []string) error {
+	fs := newFlagSet("extended")
 	seed := fs.String("seed", "fold-a", "fold seed; different seeds give disjoint collections")
 	n := fs.Int("n", 10, "questions per category")
 	out := fs.String("o", "", "optional JSON output file")
@@ -397,13 +445,18 @@ func cmdExtended(args []string) error {
 			}
 			models = append(models, m)
 		}
-		fmt.Print(chipvqa.FormatTableII(r.EvaluateAll(models, ext), nil))
+		reports, err := r.EvaluateAllContext(ctx, models, ext)
+		fmt.Print(chipvqa.FormatTableII(reports, nil))
+		if err != nil {
+			fmt.Println("(run interrupted — table covers the completed prefix only)")
+			return err
+		}
 	}
 	return nil
 }
 
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+func cmdCompare(ctx context.Context, args []string) error {
+	fs := newFlagSet("compare")
 	a := fs.String("a", "GPT4o", "first model")
 	b := fs.String("b", "LLaMA-3.2-90B", "second model")
 	workers := workersFlag(fs)
@@ -430,8 +483,8 @@ func cmdCompare(args []string) error {
 	return nil
 }
 
-func cmdFineTune(args []string) error {
-	fs := flag.NewFlagSet("finetune", flag.ExitOnError)
+func cmdFineTune(ctx context.Context, args []string) error {
+	fs := newFlagSet("finetune")
 	model := fs.String("model", "LLaVA-7b", "base model to adapt")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -466,8 +519,8 @@ func cmdFineTune(args []string) error {
 	return nil
 }
 
-func cmdItems(args []string) error {
-	fs := flag.NewFlagSet("items", flag.ExitOnError)
+func cmdItems(ctx context.Context, args []string) error {
+	fs := newFlagSet("items")
 	k := fs.Int("k", 10, "how many hardest items to list")
 	challenge := fs.Bool("challenge", false, "analyse the challenge collection instead")
 	workers := workersFlag(fs)
@@ -494,7 +547,12 @@ func cmdItems(args []string) error {
 		}
 		models = append(models, m)
 	}
-	reports := r.EvaluateAll(models, bench)
+	// Item statistics over a truncated grid would be silently biased, so
+	// an interrupted run aborts instead of analysing the partial prefix.
+	reports, err := r.EvaluateAllContext(ctx, models, bench)
+	if err != nil {
+		return err
+	}
 	items, err := eval.ItemAnalysis(reports)
 	if err != nil {
 		return err
@@ -545,8 +603,8 @@ type benchSnapshot struct {
 	RenderCacheHitRate float64 `json:"render_cache_hit_rate"`
 }
 
-func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+func cmdBench(ctx context.Context, args []string) error {
+	fs := newFlagSet("bench")
 	out := fs.String("o", "BENCH_1.json", "snapshot output file")
 	if err := fs.Parse(args); err != nil {
 		return err

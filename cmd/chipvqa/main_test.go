@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -11,34 +13,34 @@ import (
 // content they print is covered by the library test suites.
 
 func TestCmdStats(t *testing.T) {
-	if err := cmdStats(nil); err != nil {
+	if err := cmdStats(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdStats([]string{"-coverage"}); err != nil {
+	if err := cmdStats(context.Background(), []string{"-coverage"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdEvalGap(t *testing.T) {
-	if err := cmdEval([]string{"-gap"}); err != nil {
+	if err := cmdEval(context.Background(), []string{"-gap"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdAgent(t *testing.T) {
-	if err := cmdAgent(nil); err != nil {
+	if err := cmdAgent(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdResolution(t *testing.T) {
-	if err := cmdResolution([]string{"-model", "GPT4o", "-category", "Digital"}); err != nil {
+	if err := cmdResolution(context.Background(), []string{"-model", "GPT4o", "-category", "Digital"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdResolution([]string{"-category", "NoSuchCategory"}); err == nil {
+	if err := cmdResolution(context.Background(), []string{"-category", "NoSuchCategory"}); err == nil {
 		t.Error("bad category accepted")
 	}
-	if err := cmdResolution([]string{"-model", "NoSuchModel"}); err == nil {
+	if err := cmdResolution(context.Background(), []string{"-model", "NoSuchModel"}); err == nil {
 		t.Error("bad model accepted")
 	}
 }
@@ -46,36 +48,36 @@ func TestCmdResolution(t *testing.T) {
 func TestCmdExportAndRender(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "bench.json")
-	if err := cmdExport([]string{"-o", jsonPath}); err != nil {
+	if err := cmdExport(context.Background(), []string{"-o", jsonPath}); err != nil {
 		t.Fatal(err)
 	}
 	if fi, err := os.Stat(jsonPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("export produced %v, %v", fi, err)
 	}
 	renderDir := filepath.Join(dir, "renders")
-	if err := cmdRender([]string{"-dir", renderDir, "-q", "d01"}); err != nil {
+	if err := cmdRender(context.Background(), []string{"-dir", renderDir, "-q", "d01"}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(renderDir, "d01.png")); err != nil {
 		t.Fatalf("render missing: %v", err)
 	}
 	// Downsampled render.
-	if err := cmdRender([]string{"-dir", renderDir, "-q", "d01", "-factor", "16"}); err != nil {
+	if err := cmdRender(context.Background(), []string{"-dir", renderDir, "-q", "d01", "-factor", "16"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCmdAsk(t *testing.T) {
-	if err := cmdAsk([]string{"-model", "GPT4o", "-q", "m03"}); err != nil {
+	if err := cmdAsk(context.Background(), []string{"-model", "GPT4o", "-q", "m03"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAsk([]string{"-q", "d09", "-agent"}); err != nil {
+	if err := cmdAsk(context.Background(), []string{"-q", "d09", "-agent"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAsk([]string{"-q", "a01", "-challenge"}); err != nil {
+	if err := cmdAsk(context.Background(), []string{"-q", "a01", "-challenge"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdAsk([]string{"-q", "nope"}); err == nil {
+	if err := cmdAsk(context.Background(), []string{"-q", "nope"}); err == nil {
 		t.Error("unknown question accepted")
 	}
 }
@@ -83,7 +85,7 @@ func TestCmdAsk(t *testing.T) {
 func TestCmdExtended(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ext.json")
-	if err := cmdExtended([]string{"-seed", "cli-test", "-n", "3", "-o", out}); err != nil {
+	if err := cmdExtended(context.Background(), []string{"-seed", "cli-test", "-n", "3", "-o", out}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -92,34 +94,65 @@ func TestCmdExtended(t *testing.T) {
 }
 
 func TestCmdCompare(t *testing.T) {
-	if err := cmdCompare([]string{"-a", "GPT4o", "-b", "kosmos-2"}); err != nil {
+	if err := cmdCompare(context.Background(), []string{"-a", "GPT4o", "-b", "kosmos-2"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdCompare([]string{"-a", "ghost"}); err == nil {
+	if err := cmdCompare(context.Background(), []string{"-a", "ghost"}); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
 
 func TestCmdFineTune(t *testing.T) {
-	if err := cmdFineTune([]string{"-model", "LLaVA-7b"}); err != nil {
+	if err := cmdFineTune(context.Background(), []string{"-model", "LLaVA-7b"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdFineTune([]string{"-model", "ghost"}); err == nil {
+	if err := cmdFineTune(context.Background(), []string{"-model", "ghost"}); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
 
 func TestCmdChallenge(t *testing.T) {
-	if err := cmdChallenge(nil); err != nil {
+	if err := cmdChallenge(context.Background(), nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestCmdEvalInterrupted simulates a SIGINT that fired before any work
+// ran: the command must surface context.Canceled (so main exits 1)
+// while still printing the table for whatever prefix completed.
+func TestCmdEvalInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cmdEval(ctx, nil); err != context.Canceled {
+		t.Fatalf("cmdEval on dead ctx = %v, want context.Canceled", err)
+	}
+	if err := cmdChallenge(ctx, nil); err != context.Canceled {
+		t.Fatalf("cmdChallenge on dead ctx = %v, want context.Canceled", err)
+	}
+	// items refuses to analyse a truncated grid — error, no output.
+	if err := cmdItems(ctx, []string{"-k", "3"}); err != context.Canceled {
+		t.Fatalf("cmdItems on dead ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestUsageWriter pins the help contract: `chipvqa help` writes usage to
+// the writer it is handed (stdout, exit 0) rather than stderr.
+func TestUsageWriter(t *testing.T) {
+	var buf strings.Builder
+	usage(&buf)
+	out := buf.String()
+	for _, want := range []string{"usage: chipvqa", "eval", "extended", "-workers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("usage output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCmdItems(t *testing.T) {
-	if err := cmdItems([]string{"-k", "3"}); err != nil {
+	if err := cmdItems(context.Background(), []string{"-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdItems([]string{"-challenge", "-k", "3"}); err != nil {
+	if err := cmdItems(context.Background(), []string{"-challenge", "-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,13 +9,19 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/analog"
-	"repro/internal/arch"
 	"repro/internal/dataset"
-	"repro/internal/digital"
-	"repro/internal/manuf"
-	"repro/internal/phys"
 	"repro/internal/visual"
+
+	// The discipline packages are imported for effect only: each
+	// registers its generators with the dataset registry at init, and
+	// assembly below walks the registry instead of calling the packages
+	// directly. Dropping one import here (or adding a new discipline's)
+	// is the whole wiring change.
+	_ "repro/internal/analog"
+	_ "repro/internal/arch"
+	_ "repro/internal/digital"
+	_ "repro/internal/manuf"
+	_ "repro/internal/phys"
 )
 
 // TableITargets is the composition Table I of the paper specifies.
@@ -57,20 +63,39 @@ func Targets() TableITargets {
 	}
 }
 
-// generateConcurrent runs the five category generators concurrently and
-// merges their outputs in the fixed discipline order (digital, analog,
-// arch, manuf, phys), so the assembled question sequence is identical to
-// a serial build. The generators share no mutable state — every
-// stochastic parameter draws from a keyed rng stream — which makes the
-// fan-out safe.
-func generateConcurrent(gens [5]func() []*dataset.Question) []*dataset.Question {
-	var parts [5][]*dataset.Question
+// registeredGenerators fetches the registry in canonical category
+// order and verifies it is complete: one generator per discipline. A
+// hole means a discipline package's registration import is missing —
+// an assembly-wiring bug, reported as an error rather than a short
+// benchmark that would only fail composition checks later.
+func registeredGenerators() ([]dataset.Generator, error) {
+	gens := dataset.Generators()
+	if len(gens) != dataset.NumCategories {
+		return nil, fmt.Errorf("core: %d of %d disciplines registered (missing registration import?)",
+			len(gens), dataset.NumCategories)
+	}
+	for i, c := range dataset.Categories() {
+		if gens[i].Category != c {
+			return nil, fmt.Errorf("core: no generator registered for category %s", c)
+		}
+	}
+	return gens, nil
+}
+
+// generateConcurrent runs one job per registered generator concurrently
+// and merges the outputs in the registry's canonical category order
+// (digital, analog, arch, manuf, phys), so the assembled question
+// sequence is identical to a serial build. The generators share no
+// mutable state — every stochastic parameter draws from a keyed rng
+// stream — which makes the fan-out safe.
+func generateConcurrent(gens []dataset.Generator, run func(dataset.Generator) []*dataset.Question) []*dataset.Question {
+	parts := make([][]*dataset.Question, len(gens))
 	var wg sync.WaitGroup
 	wg.Add(len(gens))
 	for i, g := range gens {
-		go func(i int, g func() []*dataset.Question) {
+		go func(i int, g dataset.Generator) {
 			defer wg.Done()
-			parts[i] = g()
+			parts[i] = run(g)
 		}(i, g)
 	}
 	wg.Wait()
@@ -81,17 +106,18 @@ func generateConcurrent(gens [5]func() []*dataset.Question) []*dataset.Question 
 	return out
 }
 
-// BuildBenchmark generates the full 142-question ChipVQA collection and
-// verifies it against the Table I targets. The five discipline engines
-// run concurrently; the merge order is deterministic.
+// BuildBenchmark generates the full 142-question ChipVQA collection
+// from the discipline registry and verifies it against the Table I
+// targets. The discipline engines run concurrently; the merge order is
+// deterministic.
 func BuildBenchmark() (*dataset.Benchmark, error) {
+	gens, err := registeredGenerators()
+	if err != nil {
+		return nil, err
+	}
 	b := &dataset.Benchmark{Name: "ChipVQA"}
-	b.Questions = generateConcurrent([5]func() []*dataset.Question{
-		digital.Generate,
-		analog.Generate,
-		arch.Generate,
-		manuf.Generate,
-		phys.Generate,
+	b.Questions = generateConcurrent(gens, func(g dataset.Generator) []*dataset.Question {
+		return g.Generate()
 	})
 	if err := b.Validate(); err != nil {
 		return nil, err

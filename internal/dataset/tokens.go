@@ -78,7 +78,7 @@ func summarize(counts []int) TokenStats {
 	}
 	sorted := make([]int, len(counts))
 	copy(sorted, counts)
-	insertionSort(sorted)
+	SortInts(sorted)
 	var sum, sumSq float64
 	for _, c := range counts {
 		sum += float64(c)
@@ -98,14 +98,6 @@ func summarize(counts []int) TokenStats {
 		P50:  percentile(sorted, 0.50),
 		P75:  percentile(sorted, 0.75),
 		Max:  sorted[len(sorted)-1],
-	}
-}
-
-func insertionSort(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
 	}
 }
 

@@ -114,7 +114,7 @@ func Generate() []*dataset.Question {
 			fmt.Sprintf("With the input values A=%d and B=%d annotated in the figure, "+
 				"the output F of the circuit equals which of the following?",
 				boolBit(gc.a), boolBit(gc.b)),
-			scene, golden, pickOthers(golden, []string{"0", "1", "C", "C'"}), 0.35))
+			scene, golden, dataset.PickOthers(golden, []string{"0", "1", "C", "C'"}), 0.35))
 	}
 
 	// d13, d14: SR latch behaviour from a cross-coupled NOR schematic.
@@ -468,7 +468,7 @@ func randomCircuit(seed string, depth int) (*Netlist, []string) {
 			a := level[r.IntN(len(level))]
 			b := level[r.IntN(len(level))]
 			if b == a {
-				b = level[(indexOf(level, a)+1)%len(level)]
+				b = level[(dataset.IndexOf(level, a)+1)%len(level)]
 			}
 			n.AddGate(k, fmt.Sprintf("G%d", gi), out, a, b)
 			next = append(next, out)
@@ -480,30 +480,13 @@ func randomCircuit(seed string, depth int) (*Netlist, []string) {
 	return n, []string{"A", "B", "C"}
 }
 
-func indexOf(xs []string, x string) int {
-	for i, v := range xs {
-		if v == x {
-			return i
-		}
-	}
-	return 0
-}
-
 // randomMinterms picks count distinct minterms over n variables.
 func randomMinterms(seed string, vars, count int) []int {
 	r := rng.New("digital-minterms", seed)
 	perm := r.Perm(1 << vars)
 	ms := append([]int{}, perm[:count]...)
-	insertionSortInts(ms)
+	dataset.SortInts(ms)
 	return ms
-}
-
-func insertionSortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
 }
 
 // expressionDistractors derives three plausible but non-equivalent
@@ -538,7 +521,7 @@ func expressionDistractors(seed string, vars []string, minterms []int, lhs strin
 		for m := range set {
 			ms = append(ms, m)
 		}
-		insertionSortInts(ms)
+		dataset.SortInts(ms)
 		cand := Minimize(vars, ms, nil)
 		cs := cand.String()
 		if seen[cs] || Equivalent(cand, golden) {
@@ -547,19 +530,6 @@ func expressionDistractors(seed string, vars []string, minterms []int, lhs strin
 		seen[cs] = true
 		out[i] = lhs + " = " + cs
 		i++
-	}
-	return out
-}
-
-// pickOthers selects the three pool entries that differ from the answer.
-func pickOthers(answer string, pool []string) [3]string {
-	var out [3]string
-	i := 0
-	for _, p := range pool {
-		if p != answer && i < 3 {
-			out[i] = p
-			i++
-		}
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -31,10 +32,11 @@ func TestWorkersNormalization(t *testing.T) {
 }
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{1, 2, 8, 100} {
 		const n = 57
 		var counts [n]atomic.Int32
-		forEach(workers, n, func(i int) { counts[i].Add(1) })
+		forEach(ctx, workers, n, func(i int) { counts[i].Add(1) })
 		for i := range counts {
 			if c := counts[i].Load(); c != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
@@ -42,7 +44,7 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 		}
 	}
 	// n = 0 must not deadlock or call fn.
-	forEach(4, 0, func(int) { t.Fatal("fn called for empty range") })
+	forEach(ctx, 4, 0, func(int) { t.Fatal("fn called for empty range") })
 }
 
 func TestEvaluateAllParallelMatchesSerial(t *testing.T) {

@@ -1,0 +1,240 @@
+package eval
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// This file decomposes the evaluation path into an explicit staged
+// pipeline: a Source yields per-question Events in a canonical order,
+// an Inference stage fills in the model response, a JudgeStage scores
+// it, and a Sink consumes completed events strictly in Seq order. An
+// optional Observer sees every event right after the sink — in the
+// same deterministic order — which is the hook point for metrics,
+// tracing and progress reporting. Runner composes these stages; the
+// composed pipeline is byte-identical to the old monolithic loop while
+// adding context cancellation with graceful partial results.
+
+// Event is the per-question unit of work flowing through the pipeline.
+// The Source seeds Seq, Model and Question; Inference fills Response;
+// JudgeStage fills Correct; the delivery layer stamps At just before
+// the Sink and Observer see the event.
+type Event struct {
+	// Seq is the event's position in the run's canonical order: the
+	// question index for single-model runs, the flattened model-major
+	// (model, question) task index for grid runs.
+	Seq      int
+	Model    Model
+	Question *dataset.Question
+	Response string
+	Correct  bool
+	// At is the delivery timestamp from the pipeline clock seam. It is
+	// observability-only: reports never contain it, so runs stay
+	// byte-identical regardless of wall-clock behaviour.
+	At time.Time
+}
+
+// Source yields the run's evaluation tasks in canonical order. Event(i)
+// must be a pure function of i so any worker may materialise any task.
+type Source interface {
+	Len() int
+	Event(i int) Event
+}
+
+// Inference fills Event.Response from the event's model and question.
+type Inference interface {
+	Infer(ctx context.Context, ev *Event)
+}
+
+// JudgeStage fills Event.Correct from the question and response.
+type JudgeStage interface {
+	Judge(ctx context.Context, ev *Event)
+}
+
+// Sink consumes completed events. The pipeline calls Consume strictly
+// in Seq order from one goroutine at a time, so sinks need no locking
+// of their own.
+type Sink interface {
+	Consume(ev Event)
+}
+
+// Observer receives every event immediately after the sink, under the
+// same in-order single-goroutine guarantee. Cancelling the run's
+// context from inside Observe stops delivery after the current event,
+// which makes observer-triggered cancellation deterministic: the
+// partial report is exactly the events observed so far.
+type Observer interface {
+	Observe(ev Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev Event)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// Pipeline wires the four stages plus the optional observer. Workers
+// has the Runner.EffectiveWorkers convention already applied: <= 1
+// runs serially, larger values size the pool.
+type Pipeline struct {
+	Source   Source
+	Infer    Inference
+	Judge    JudgeStage
+	Sink     Sink
+	Observer Observer
+	Workers  int
+	// Clock stamps Event.At at delivery; nil uses the package clock
+	// seam (clock.go). Tests pin it for reproducible timestamps.
+	Clock func() time.Time
+}
+
+// Run executes the pipeline until the source drains or ctx is
+// cancelled, returning ctx.Err(). Workers pull tasks cooperatively:
+// cancellation is checked between questions (a question in flight
+// finishes), and the in-order delivery gate re-checks the context
+// before every emit, so after cancel the sink holds a consistent
+// prefix of the canonical order — a graceful partial report — and
+// every delivered result is byte-identical to the full run's.
+func (p *Pipeline) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	clock := p.Clock
+	if clock == nil {
+		clock = now
+	}
+	d := &delivery{
+		pending: make(map[int]Event),
+		sink:    p.Sink,
+		obs:     p.Observer,
+		clock:   clock,
+	}
+	forEach(ctx, p.Workers, p.Source.Len(), func(i int) {
+		ev := p.Source.Event(i)
+		p.Infer.Infer(ctx, &ev)
+		p.Judge.Judge(ctx, &ev)
+		d.deliver(ctx, ev)
+	})
+	return ctx.Err()
+}
+
+// delivery is the reorder buffer between the parallel stages and the
+// ordered sink: workers complete events in scheduling order, deliver
+// parks them until their Seq is next, and the contiguous prefix drains
+// under one mutex — which is what serialises Sink/Observer calls and
+// keeps them in canonical order for any worker count.
+type delivery struct {
+	mu      sync.Mutex
+	next    int           // lowest Seq not yet emitted
+	pending map[int]Event // completed events waiting for their turn
+	stopped bool          // context cancelled; drop instead of emit
+	sink    Sink
+	obs     Observer
+	clock   func() time.Time
+}
+
+func (d *delivery) deliver(ctx context.Context, ev Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stopped {
+		return
+	}
+	d.pending[ev.Seq] = ev
+	for {
+		if ctx.Err() != nil {
+			// Stop emitting the moment cancellation is visible — even
+			// for events already buffered — so an observer that cancels
+			// during Observe cuts the report off deterministically
+			// right after its event.
+			d.stopped = true
+			return
+		}
+		nxt, ok := d.pending[d.next]
+		if !ok {
+			return
+		}
+		delete(d.pending, d.next)
+		d.next++
+		nxt.At = d.clock()
+		if d.sink != nil {
+			d.sink.Consume(nxt)
+		}
+		if d.obs != nil {
+			d.obs.Observe(nxt)
+		}
+	}
+}
+
+// --- Concrete stages used by Runner ------------------------------------
+
+// benchmarkSource streams one model over a question list; Seq is the
+// question index.
+type benchmarkSource struct {
+	model     Model
+	questions []*dataset.Question
+}
+
+func (s benchmarkSource) Len() int { return len(s.questions) }
+
+func (s benchmarkSource) Event(i int) Event {
+	return Event{Seq: i, Model: s.model, Question: s.questions[i]}
+}
+
+// gridSource streams the flattened model-major (model, question) grid,
+// so the worker pool stays busy across model boundaries — a cheap
+// model finishing early does not idle its workers while an expensive
+// one lags.
+type gridSource struct {
+	models    []Model
+	questions []*dataset.Question
+}
+
+func (s gridSource) Len() int { return len(s.models) * len(s.questions) }
+
+func (s gridSource) Event(t int) Event {
+	nq := len(s.questions)
+	return Event{Seq: t, Model: s.models[t/nq], Question: s.questions[t%nq]}
+}
+
+// modelInference asks the event's model for an answer.
+type modelInference struct {
+	opts InferenceOptions
+}
+
+func (st modelInference) Infer(_ context.Context, ev *Event) {
+	ev.Response = ev.Model.Answer(ev.Question, st.opts)
+}
+
+// judgeStage scores the response with the equivalence judge.
+type judgeStage struct {
+	judge Judge
+}
+
+func (st judgeStage) Judge(_ context.Context, ev *Event) {
+	ev.Correct = st.judge.Correct(ev.Question, ev.Response)
+}
+
+// reportSink appends each event to its model's report. Events arrive
+// in Seq order and the grid is model-major, so every report's Results
+// fill in question order, and a cancelled run leaves each report with
+// a clean prefix (earlier models complete, later models empty).
+type reportSink struct {
+	nq      int // questions per model; divides Seq into (model, question)
+	reports []*Report
+}
+
+func (s *reportSink) Consume(ev Event) {
+	mi := 0
+	if s.nq > 0 {
+		mi = ev.Seq / s.nq
+	}
+	s.reports[mi].Results = append(s.reports[mi].Results, QuestionResult{
+		QuestionID: ev.Question.ID,
+		Category:   ev.Question.Category,
+		Response:   ev.Response,
+		Correct:    ev.Correct,
+	})
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -74,7 +75,10 @@ func (r *Report) Pass1ByCategory() map[dataset.Category]float64 {
 	return out
 }
 
-// Runner evaluates models over a benchmark with a judge.
+// Runner evaluates models over a benchmark with a judge. It is a
+// pre-composed instance of the staged pipeline (pipeline.go): a Source
+// streams the questions, Inference and JudgeStage run on the worker
+// pool, and a report sink collects results in canonical order.
 //
 // Workers selects the evaluation engine:
 //
@@ -92,6 +96,10 @@ type Runner struct {
 	Opts  InferenceOptions
 	// Workers bounds concurrent question evaluations; see the type doc.
 	Workers int
+	// Observer, when non-nil, receives every completed event in
+	// deterministic question order — the metrics/tracing seam. See the
+	// Observer interface for the cancellation semantics.
+	Observer Observer
 }
 
 // NewRunner returns a Runner with Workers defaulted to
@@ -116,14 +124,19 @@ func (r Runner) EffectiveWorkers() int {
 
 // forEach runs fn(i) for every i in [0, n) on a fixed pool of at most
 // workers goroutines pulling indices from a shared counter. workers <= 1
-// (or tiny n) degenerates to an inline serial loop. fn must write only
-// to its own index's slot, which keeps output order deterministic.
-func forEach(workers, n int, fn func(int)) {
+// (or tiny n) degenerates to an inline serial loop. Cancellation is
+// cooperative at item granularity: the context is checked before each
+// claim, an item in flight always completes, and no index is ever
+// claimed twice. fn must be safe to call from multiple goroutines.
+func forEach(ctx context.Context, workers, n int, fn func(int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -134,7 +147,7 @@ func forEach(workers, n int, fn func(int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -146,20 +159,34 @@ func forEach(workers, n int, fn func(int)) {
 	wg.Wait()
 }
 
+// pipeline composes the Runner's stages over a source and sink.
+func (r Runner) pipeline(src Source, sink Sink) *Pipeline {
+	return &Pipeline{
+		Source:   src,
+		Infer:    modelInference{opts: r.Opts},
+		Judge:    judgeStage{judge: r.Judge},
+		Sink:     sink,
+		Observer: r.Observer,
+		Workers:  r.EffectiveWorkers(),
+	}
+}
+
 // Evaluate runs one model over the benchmark.
 func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
-	rep := &Report{ModelName: m.Name(), Results: make([]QuestionResult, len(b.Questions))}
-	forEach(r.EffectiveWorkers(), len(b.Questions), func(i int) {
-		q := b.Questions[i]
-		resp := m.Answer(q, r.Opts)
-		rep.Results[i] = QuestionResult{
-			QuestionID: q.ID,
-			Category:   q.Category,
-			Response:   resp,
-			Correct:    r.Judge.Correct(q, resp),
-		}
-	})
+	//lint:ignore errdrop context.Background never cancels, so the only possible error is nil
+	rep, _ := r.EvaluateContext(context.Background(), m, b)
 	return rep
+}
+
+// EvaluateContext runs one model over the benchmark with cooperative
+// cancellation. On cancel it returns ctx.Err() together with a partial
+// report holding a consistent prefix of the question order; every
+// result present is byte-identical to the full run's.
+func (r Runner) EvaluateContext(ctx context.Context, m Model, b *dataset.Benchmark) (*Report, error) {
+	rep := &Report{ModelName: m.Name(), Results: make([]QuestionResult, 0, len(b.Questions))}
+	sink := &reportSink{nq: len(b.Questions), reports: []*Report{rep}}
+	err := r.pipeline(benchmarkSource{model: m, questions: b.Questions}, sink).Run(ctx)
+	return rep, err
 }
 
 // EvaluateAll runs every model and returns reports in input order. The
@@ -167,26 +194,28 @@ func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
 // pool stays busy across model boundaries — a cheap model finishing
 // early does not idle its workers while an expensive one lags.
 func (r Runner) EvaluateAll(models []Model, b *dataset.Benchmark) []*Report {
+	//lint:ignore errdrop context.Background never cancels, so the only possible error is nil
+	out, _ := r.EvaluateAllContext(context.Background(), models, b)
+	return out
+}
+
+// EvaluateAllContext is EvaluateAll with cooperative cancellation. On
+// cancel the returned reports hold a consistent prefix of the
+// flattened model-major order: models before the cut-off are complete,
+// the model at the cut-off has a prefix of its questions, later models
+// are empty.
+func (r Runner) EvaluateAllContext(ctx context.Context, models []Model, b *dataset.Benchmark) ([]*Report, error) {
 	nq := len(b.Questions)
 	out := make([]*Report, len(models))
 	for i, m := range models {
-		out[i] = &Report{ModelName: m.Name(), Results: make([]QuestionResult, nq)}
+		out[i] = &Report{ModelName: m.Name(), Results: make([]QuestionResult, 0, nq)}
 	}
-	if nq == 0 {
-		return out
+	if nq == 0 || len(models) == 0 {
+		return out, nil
 	}
-	forEach(r.EffectiveWorkers(), len(models)*nq, func(t int) {
-		mi, qi := t/nq, t%nq
-		q := b.Questions[qi]
-		resp := models[mi].Answer(q, r.Opts)
-		out[mi].Results[qi] = QuestionResult{
-			QuestionID: q.ID,
-			Category:   q.Category,
-			Response:   resp,
-			Correct:    r.Judge.Correct(q, resp),
-		}
-	})
-	return out
+	sink := &reportSink{nq: nq, reports: out}
+	err := r.pipeline(gridSource{models: models, questions: b.Questions}, sink).Run(ctx)
+	return out, err
 }
 
 // FormatTableII renders reports in the layout of the paper's Table II:

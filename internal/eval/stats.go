@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -55,7 +56,7 @@ func (r *Report) bootstrapCI(resamples int, level float64, workers int) Confiden
 	}
 	stats := make([]float64, resamples)
 	chunks := (resamples + bootstrapChunk - 1) / bootstrapChunk
-	forEach(workers, chunks, func(c int) {
+	forEach(context.Background(), workers, chunks, func(c int) {
 		gen := rng.New("bootstrap", r.ModelName, fmt.Sprint(resamples), fmt.Sprint(level), fmt.Sprint(c))
 		lo := c * bootstrapChunk
 		hi := lo + bootstrapChunk

@@ -18,11 +18,11 @@ func TestParseDirective(t *testing.T) {
 		{"//lint:ignore nodeterm bench timestamps are cosmetic", []string{"nodeterm"}, "bench timestamps are cosmetic", false},
 		{"//lint:ignore nodeterm,errdrop shared reason", []string{"nodeterm", "errdrop"}, "shared reason", false},
 		{"  //lint:ignore maporder leading space ok  ", []string{"maporder"}, "leading space ok", false},
-		{"//lint:ignore nodeterm", nil, "", true},           // no reason
-		{"//lint:ignore  ", nil, "", true},                  // no analyzer
-		{"//lint:ignore nodeterm, x y", nil, "", true},      // empty name in list
-		{"//lint:ignore NoDeterm reason", nil, "", true},    // uppercase name
-		{"//lint:disable nodeterm reason", nil, "", true},   // unknown verb
+		{"//lint:ignore nodeterm", nil, "", true},         // no reason
+		{"//lint:ignore  ", nil, "", true},                // no analyzer
+		{"//lint:ignore nodeterm, x y", nil, "", true},    // empty name in list
+		{"//lint:ignore NoDeterm reason", nil, "", true},  // uppercase name
+		{"//lint:disable nodeterm reason", nil, "", true}, // unknown verb
 		{"//lint:", nil, "", true},
 		{"// ordinary comment", nil, "", true},
 	}

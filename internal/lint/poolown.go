@@ -33,10 +33,10 @@ var PoolOwn = &Analyzer{
 type ownState int
 
 const (
-	ownUnknown ownState = iota
-	ownOwned            // caller-owned pooled image; releasable once
-	ownShared           // cache-shared image; must never be released
-	ownReleased         // already handed back to the pool
+	ownUnknown  ownState = iota
+	ownOwned             // caller-owned pooled image; releasable once
+	ownShared            // cache-shared image; must never be released
+	ownReleased          // already handed back to the pool
 )
 
 // poolEnv maps image variables to their ownership state.

@@ -1,0 +1,15 @@
+package manuf
+
+import "repro/internal/dataset"
+
+// The discipline registers its generators with the dataset registry at
+// init; internal/core assembles the benchmark from the registry rather
+// than hard-importing every discipline package.
+func init() {
+	dataset.RegisterGenerator(dataset.Generator{
+		Name:          "manuf",
+		Category:      dataset.Manufacture,
+		Generate:      Generate,
+		GenerateExtra: GenerateExtra,
+	})
+}

@@ -1,0 +1,15 @@
+package phys
+
+import "repro/internal/dataset"
+
+// The discipline registers its generators with the dataset registry at
+// init; internal/core assembles the benchmark from the registry rather
+// than hard-importing every discipline package.
+func init() {
+	dataset.RegisterGenerator(dataset.Generator{
+		Name:          "phys",
+		Category:      dataset.Physical,
+		Generate:      Generate,
+		GenerateExtra: GenerateExtra,
+	})
+}

@@ -50,7 +50,7 @@ func Downsample(src *image.RGBA, factor int) *image.RGBA {
 	}
 	dst := newRGBA(image.Rect(0, 0, w, h))
 
-	wFull := srcW / factor      // output columns with a full-width block
+	wFull := srcW / factor       // output columns with a full-width block
 	tailW := srcW - wFull*factor // width of the right edge strip (0 if divisible)
 	shift := uint(0)
 	pow2 := factor&(factor-1) == 0

@@ -8,10 +8,10 @@
 set -e
 cd "$(dirname "$0")/.."
 N="${1:-1}"
-# Preflight: the determinism/lifecycle analyzers must be clean — a
-# snapshot taken from a tree that violates the engine's invariants
-# would record numbers no one can reproduce.
-go run ./cmd/chipvqa-lint ./...
+# Preflight: the full tier-1 gate must be clean — a snapshot taken
+# from a tree that fails vet/lint/tests would record numbers no one
+# can reproduce.
+sh scripts/verify.sh
 # Smoke-run every benchmark once first: a benchmark that panics or
 # b.Fatals must fail the script before a snapshot is written.
 go test -run '^$' -bench=. -benchtime=1x ./...

@@ -1,10 +1,19 @@
 #!/bin/sh
-# Run the repo's determinism / buffer-lifecycle analyzers
-# (cmd/chipvqa-lint) over the whole module. Part of tier-1 verify; see
-# DESIGN.md §9 for what each analyzer enforces and the
-# `//lint:ignore <analyzer> <reason>` suppression policy.
+# Run the repo's static gates: gofmt formatting plus the determinism /
+# buffer-lifecycle analyzers (cmd/chipvqa-lint) over the whole module.
+# Part of tier-1 verify; see DESIGN.md §9 for what each analyzer
+# enforces and the `//lint:ignore <analyzer> <reason>` suppression
+# policy.
 #
 # Usage: scripts/lint.sh [-only analyzer[,analyzer...]]
 set -e
 cd "$(dirname "$0")/.."
+# Formatting gate: gofmt -l prints offending files and stays exit 0, so
+# turn any output into a failure.
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 exec go run ./cmd/chipvqa-lint "$@" ./...
