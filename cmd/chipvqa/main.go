@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +25,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro"
@@ -83,6 +86,8 @@ func main() {
 		err = cmdFineTune(ctx, args)
 	case "bench":
 		err = cmdBench(ctx, args)
+	case "benchdiff":
+		err = cmdBenchDiff(ctx, args)
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 	default:
@@ -126,6 +131,7 @@ commands:
   finetune     domain-adaptation learning-curve study (-model)
   items        per-question difficulty and discrimination analysis (-k, -challenge)
   bench        time the evaluation engine and write a perf snapshot (-o file)
+  benchdiff    compare two bench snapshots; non-zero exit on regression (-tol)
 
 evaluation commands take -workers N: 0 = auto (GOMAXPROCS), 1 = serial.`)
 }
@@ -564,7 +570,13 @@ func cmdItems(ctx context.Context, args []string) error {
 // benchSnapshot is the schema of the repo's recorded perf trajectory
 // (BENCH_1.json and successors): wall time of the headline Table II
 // sweep under the serial and parallel engines, the cached render path,
-// and the scene-cache effectiveness counters.
+// the zero-alloc judge/normalise hot paths, and the scene-cache
+// effectiveness counters. Schema v3 adds an *_allocs_per_op sibling to
+// every benchmarked *_ns_per_op field (allocation regressions are as
+// real as time regressions on the hot paths of DESIGN.md §12), the
+// judge/normalise micro-benchmarks, and the sharded table_ii_grid
+// section recording the same grid sweep at worker counts 1/2/4/8 with
+// a byte-identity assertion across them.
 type benchSnapshot struct {
 	Schema     string `json:"schema"`
 	Date       string `json:"date"`
@@ -574,33 +586,83 @@ type benchSnapshot struct {
 	// Table II standard collection: 12 models x 142 questions. The
 	// parallel run is pinned to GOMAXPROCS = NumCPU so snapshots taken
 	// under a restricted GOMAXPROCS still record the machine's capability.
-	TableIISerialNsPerOp   int64   `json:"table_ii_serial_ns_per_op"`
-	TableIIParallelNsPerOp int64   `json:"table_ii_parallel_ns_per_op"`
-	TableIISpeedup         float64 `json:"table_ii_speedup"`
+	TableIISerialNsPerOp       int64   `json:"table_ii_serial_ns_per_op"`
+	TableIISerialAllocsPerOp   int64   `json:"table_ii_serial_allocs_per_op"`
+	TableIIParallelNsPerOp     int64   `json:"table_ii_parallel_ns_per_op"`
+	TableIIParallelAllocsPerOp int64   `json:"table_ii_parallel_allocs_per_op"`
+	TableIISpeedup             float64 `json:"table_ii_speedup"`
+
+	// Sharded grid sweep: the full (model, question) grid through
+	// EvaluateAllInto at fixed worker counts. The digest of every
+	// sharded run is asserted byte-identical to the workers=1 run
+	// before timing; the scaling is recorded but not asserted (a 1-CPU
+	// host legitimately shows none).
+	TableIIGrid []gridPoint `json:"table_ii_grid"`
 
 	// §IV-B-style 16x resolution pass over the full collection: cold is
 	// the first pass after a cache reset (pays every scene derivation),
 	// warm is the steady state.
-	Resolution16ColdNs      int64 `json:"resolution16_cold_ns"`
-	Resolution16WarmNsPerOp int64 `json:"resolution16_warm_ns_per_op"`
+	Resolution16ColdNs          int64 `json:"resolution16_cold_ns"`
+	Resolution16WarmNsPerOp     int64 `json:"resolution16_warm_ns_per_op"`
+	Resolution16WarmAllocsPerOp int64 `json:"resolution16_warm_allocs_per_op"`
 
 	// Raster kernel, no cache: rasterise every question's scene from
 	// scratch and hand each frame back to the pixel pool. This is the
 	// span kernel's headline number.
-	RenderAllColdNsPerOp int64 `json:"render_all_cold_ns_per_op"`
+	RenderAllColdNsPerOp     int64 `json:"render_all_cold_ns_per_op"`
+	RenderAllColdAllocsPerOp int64 `json:"render_all_cold_allocs_per_op"`
 
 	// Rendering every question at 8x through the scene cache: warm is
 	// the zero-copy QuestionImage accessor, clone is RenderQuestion's
 	// private copy — the gap is the per-call cost of cloning.
-	RenderAll8xWarmNsPerOp  int64 `json:"render_all_8x_warm_ns_per_op"`
-	RenderAll8xCloneNsPerOp int64 `json:"render_all_8x_clone_ns_per_op"`
+	RenderAll8xWarmNsPerOp      int64 `json:"render_all_8x_warm_ns_per_op"`
+	RenderAll8xWarmAllocsPerOp  int64 `json:"render_all_8x_warm_allocs_per_op"`
+	RenderAll8xCloneNsPerOp     int64 `json:"render_all_8x_clone_ns_per_op"`
+	RenderAll8xCloneAllocsPerOp int64 `json:"render_all_8x_clone_allocs_per_op"`
 
-	// 2000-resample bootstrap CI over one report (chunk-parallel).
-	BootstrapCINsPerOp int64 `json:"bootstrap_ci_ns_per_op"`
+	// 2000-resample bootstrap CI over one report (chunk-parallel,
+	// batched binomial resampling).
+	BootstrapCINsPerOp     int64 `json:"bootstrap_ci_ns_per_op"`
+	BootstrapCIAllocsPerOp int64 `json:"bootstrap_ci_allocs_per_op"`
+
+	// Judging all 142 stored (question, response) pairs of one report,
+	// and re-normalising the 142 canonical golden texts: the zero-alloc
+	// hot paths — both allocs_per_op fields must be 0 in the steady
+	// state (TestJudgeZeroAlloc / TestNormalizeZeroAlloc pin this).
+	JudgeAllNsPerOp      int64 `json:"judge_all_ns_per_op"`
+	JudgeAllAllocsPerOp  int64 `json:"judge_all_allocs_per_op"`
+	NormalizeNsPerOp     int64 `json:"normalize_ns_per_op"`
+	NormalizeAllocsPerOp int64 `json:"normalize_allocs_per_op"`
 
 	RenderCacheHits    uint64  `json:"render_cache_hits"`
 	RenderCacheMisses  uint64  `json:"render_cache_misses"`
 	RenderCacheHitRate float64 `json:"render_cache_hit_rate"`
+}
+
+// gridPoint is one worker-count sample of the sharded grid sweep.
+type gridPoint struct {
+	Workers     int   `json:"workers"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// reportsDigest condenses a report set into a hash covering everything
+// determinism guarantees: model order, question order, responses and
+// verdicts. Two runs are byte-identical iff their digests match.
+func reportsDigest(reports []*chipvqa.Report) string {
+	h := sha256.New()
+	for _, r := range reports {
+		_, _ = h.Write([]byte(r.ModelName))
+		for _, q := range r.Results {
+			_, _ = h.Write([]byte{0})
+			_, _ = h.Write([]byte(q.QuestionID))
+			_, _ = h.Write([]byte(q.Response))
+			if q.Correct {
+				_, _ = h.Write([]byte{1})
+			}
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 func cmdBench(ctx context.Context, args []string) error {
@@ -617,6 +679,7 @@ func cmdBench(ctx context.Context, args []string) error {
 	tableII := func(workers int) testing.BenchmarkResult {
 		suite.Workers = workers
 		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, name := range names {
 					if _, err := suite.Evaluate(name); err != nil {
@@ -644,6 +707,7 @@ func cmdBench(ctx context.Context, args []string) error {
 	}
 	cold := now().Sub(start)
 	res16 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := suite.EvaluateAtResolution("GPT4o", 16); err != nil {
 				panic(err)
@@ -651,6 +715,7 @@ func cmdBench(ctx context.Context, args []string) error {
 		}
 	})
 	renderCold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, q := range suite.Benchmark.Questions {
 				img := visual.Render(q.Visual)
@@ -659,6 +724,7 @@ func cmdBench(ctx context.Context, args []string) error {
 		}
 	})
 	render8 := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, q := range suite.Benchmark.Questions {
 				_ = chipvqa.QuestionImage(q, 8)
@@ -666,6 +732,7 @@ func cmdBench(ctx context.Context, args []string) error {
 		}
 	})
 	render8Clone := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, q := range suite.Benchmark.Questions {
 				img := chipvqa.RenderQuestion(q, 8)
@@ -678,28 +745,113 @@ func cmdBench(ctx context.Context, args []string) error {
 		return err
 	}
 	boot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = rep.BootstrapCI(2000, 0.95)
 		}
 	})
+
+	// Judge hot path: re-judge every stored (question, response) pair of
+	// the GPT4o report. Steady-state allocs/op must be 0 (the scratch
+	// buffers and expression memo absorb everything after warm-up).
+	qByID := make(map[string]*chipvqa.Question, len(suite.Benchmark.Questions))
+	for _, q := range suite.Benchmark.Questions {
+		qByID[q.ID] = q
+	}
+	judge := eval.Judge{}
+	for _, qr := range rep.Results { // warm-up: grow buffers, fill memo
+		judge.Correct(qByID[qr.QuestionID], qr.Response)
+	}
+	judgeRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, qr := range rep.Results {
+				judge.Correct(qByID[qr.QuestionID], qr.Response)
+			}
+		}
+	})
+	// Normalise hot path over canonical inputs: the fast-path gate must
+	// return every golden text unchanged without allocating.
+	norms := make([]string, 0, len(suite.Benchmark.Questions))
+	for _, q := range suite.Benchmark.Questions {
+		norms = append(norms, eval.Normalize(q.Golden.Text))
+	}
+	normRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range norms {
+				_ = eval.Normalize(s)
+			}
+		}
+	})
+
+	// Sharded grid sweep: the digest of every worker count must match
+	// the workers=1 run byte for byte before any timing is recorded.
+	fmt.Println("timing sharded grid sweep (workers 1/2/4/8)...")
+	models := make([]chipvqa.Model, 0, len(names))
+	for _, name := range names {
+		m, err := suite.Model(name)
+		if err != nil {
+			return err
+		}
+		models = append(models, m)
+	}
+	var grid []gridPoint
+	var baseDigest string
+	for _, w := range []int{1, 2, 4, 8} {
+		r := eval.Runner{Workers: w}
+		reports, err := r.EvaluateAllContext(ctx, models, suite.Benchmark)
+		if err != nil {
+			return err
+		}
+		d := reportsDigest(reports)
+		switch {
+		case baseDigest == "":
+			baseDigest = d
+		case d != baseDigest:
+			return fmt.Errorf("grid sweep not deterministic: workers=%d digest %s != workers=1 digest %s",
+				w, d, baseDigest)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.EvaluateAllInto(ctx, models, suite.Benchmark, reports); err != nil {
+					panic(err)
+				}
+			}
+		})
+		grid = append(grid, gridPoint{Workers: w, NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()})
+	}
 	stats := chipvqa.RenderCacheStats()
 
 	snap := benchSnapshot{
-		Schema:                  "chipvqa-bench/2",
-		Date:                    snapshotDate(),
-		GoMaxProcs:              runtime.GOMAXPROCS(0),
-		NumCPU:                  runtime.NumCPU(),
-		TableIISerialNsPerOp:    serial.NsPerOp(),
-		TableIIParallelNsPerOp:  parallel.NsPerOp(),
-		Resolution16ColdNs:      cold.Nanoseconds(),
-		Resolution16WarmNsPerOp: res16.NsPerOp(),
-		RenderAllColdNsPerOp:    renderCold.NsPerOp(),
-		RenderAll8xWarmNsPerOp:  render8.NsPerOp(),
-		RenderAll8xCloneNsPerOp: render8Clone.NsPerOp(),
-		BootstrapCINsPerOp:      boot.NsPerOp(),
-		RenderCacheHits:         stats.Hits,
-		RenderCacheMisses:       stats.Misses,
-		RenderCacheHitRate:      stats.HitRate(),
+		Schema:                      "chipvqa-bench/3",
+		Date:                        snapshotDate(),
+		GoMaxProcs:                  runtime.GOMAXPROCS(0),
+		NumCPU:                      runtime.NumCPU(),
+		TableIISerialNsPerOp:        serial.NsPerOp(),
+		TableIISerialAllocsPerOp:    serial.AllocsPerOp(),
+		TableIIParallelNsPerOp:      parallel.NsPerOp(),
+		TableIIParallelAllocsPerOp:  parallel.AllocsPerOp(),
+		TableIIGrid:                 grid,
+		Resolution16ColdNs:          cold.Nanoseconds(),
+		Resolution16WarmNsPerOp:     res16.NsPerOp(),
+		Resolution16WarmAllocsPerOp: res16.AllocsPerOp(),
+		RenderAllColdNsPerOp:        renderCold.NsPerOp(),
+		RenderAllColdAllocsPerOp:    renderCold.AllocsPerOp(),
+		RenderAll8xWarmNsPerOp:      render8.NsPerOp(),
+		RenderAll8xWarmAllocsPerOp:  render8.AllocsPerOp(),
+		RenderAll8xCloneNsPerOp:     render8Clone.NsPerOp(),
+		RenderAll8xCloneAllocsPerOp: render8Clone.AllocsPerOp(),
+		BootstrapCINsPerOp:          boot.NsPerOp(),
+		BootstrapCIAllocsPerOp:      boot.AllocsPerOp(),
+		JudgeAllNsPerOp:             judgeRes.NsPerOp(),
+		JudgeAllAllocsPerOp:         judgeRes.AllocsPerOp(),
+		NormalizeNsPerOp:            normRes.NsPerOp(),
+		NormalizeAllocsPerOp:        normRes.AllocsPerOp(),
+		RenderCacheHits:             stats.Hits,
+		RenderCacheMisses:           stats.Misses,
+		RenderCacheHitRate:          stats.HitRate(),
 	}
 	if parallel.NsPerOp() > 0 {
 		snap.TableIISpeedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
@@ -719,8 +871,130 @@ func cmdBench(ctx context.Context, args []string) error {
 	fmt.Printf("render all 142: cold %.1f ms/op; 8x warm %.3f ms/op, 8x clone %.3f ms/op\n",
 		float64(snap.RenderAllColdNsPerOp)/1e6,
 		float64(snap.RenderAll8xWarmNsPerOp)/1e6, float64(snap.RenderAll8xCloneNsPerOp)/1e6)
+	fmt.Printf("bootstrap CI: %.3f ms/op (%d allocs/op)\n",
+		float64(snap.BootstrapCINsPerOp)/1e6, snap.BootstrapCIAllocsPerOp)
+	fmt.Printf("judge 142 pairs: %.1f us/op (%d allocs/op); normalize 142: %.1f us/op (%d allocs/op)\n",
+		float64(snap.JudgeAllNsPerOp)/1e3, snap.JudgeAllAllocsPerOp,
+		float64(snap.NormalizeNsPerOp)/1e3, snap.NormalizeAllocsPerOp)
+	for _, g := range snap.TableIIGrid {
+		fmt.Printf("grid workers=%d: %.1f ms/op (%d allocs/op)\n",
+			g.Workers, float64(g.NsPerOp)/1e6, g.AllocsPerOp)
+	}
 	fmt.Printf("render cache: %d hits / %d misses (%.1f%% hit rate)\n",
 		stats.Hits, stats.Misses, 100*stats.HitRate())
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// cmdBenchDiff compares two bench snapshots field by field:
+// `chipvqa benchdiff OLD.json NEW.json`. A regression — any
+// *_ns_per_op growing more than 20%, or any *_allocs_per_op growing at
+// all — makes the command fail, which is what lets scripts/benchdiff.sh
+// gate on it. Fields present in only one snapshot (schema evolution)
+// are reported informationally and never fail the diff.
+func cmdBenchDiff(ctx context.Context, args []string) error {
+	fs := newFlagSet("benchdiff")
+	tol := fs.Float64("tol", 0.20, "allowed fractional ns/op growth before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: chipvqa benchdiff OLD.json NEW.json")
+	}
+	oldSnap, err := loadFlatSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadFlatSnapshot(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(oldSnap))
+	for k := range oldSnap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		ov := oldSnap[k]
+		nv, ok := newSnap[k]
+		if !ok {
+			fmt.Printf("  %-40s dropped (was %g)\n", k, ov)
+			continue
+		}
+		switch {
+		case strings.HasSuffix(k, "_ns_per_op") || strings.HasSuffix(k, ".ns_per_op"):
+			delta := 0.0
+			if ov > 0 {
+				delta = nv/ov - 1
+			}
+			status := "ok"
+			if nv > ov*(1+*tol) {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %+.1f%% ns/op", k, 100*delta))
+			}
+			fmt.Printf("  %-40s %12.0f -> %12.0f ns/op (%+.1f%%) %s\n", k, ov, nv, 100*delta, status)
+		case strings.HasSuffix(k, "allocs_per_op"):
+			status := "ok"
+			if nv > ov {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %g -> %g allocs/op", k, ov, nv))
+			}
+			fmt.Printf("  %-40s %12g -> %12g allocs/op %s\n", k, ov, nv, status)
+		}
+	}
+	newKeys := make([]string, 0)
+	for k := range newSnap {
+		if _, ok := oldSnap[k]; !ok {
+			newKeys = append(newKeys, k)
+		}
+	}
+	sort.Strings(newKeys)
+	for _, k := range newKeys {
+		fmt.Printf("  %-40s (new) %g\n", k, newSnap[k])
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d perf regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// loadFlatSnapshot reads a snapshot JSON and flattens every numeric
+// field into path-keyed values ("table_ii_grid.0.ns_per_op"), so the
+// diff handles nested sections and schema growth uniformly.
+func loadFlatSnapshot(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flattenNumeric("", raw, out)
+	return out, nil
+}
+
+// flattenNumeric walks parsed JSON, recording numeric leaves under
+// dotted path keys. Writing into a map from a map range is
+// order-independent, so the traversal needs no sorting.
+func flattenNumeric(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenNumeric(key, val, out)
+		}
+	case []any:
+		for i, val := range t {
+			flattenNumeric(fmt.Sprintf("%s.%d", prefix, i), val, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
 }

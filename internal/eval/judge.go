@@ -1,7 +1,10 @@
 package eval
 
 import (
+	"bytes"
 	"strings"
+	"sync"
+	"unicode/utf8"
 
 	"repro/internal/dataset"
 	"repro/internal/digital"
@@ -22,27 +25,47 @@ type Judge struct {
 }
 
 // Correct reports whether the response answers the question correctly.
+// It borrows a Scratch from the package pool; callers that judge in a
+// loop (the pipeline's worker goroutines) should hold their own Scratch
+// and call CorrectWith instead.
 func (j Judge) Correct(q *dataset.Question, response string) bool {
+	sc := getScratch()
+	ok := j.CorrectWith(q, response, sc)
+	putScratch(sc)
+	return ok
+}
+
+// CorrectWith is Correct with a caller-owned Scratch, the zero-alloc
+// form for per-worker judging. sc must not be shared with a concurrent
+// caller; nil falls back to the pool.
+//
+//hot:judge per-event dispatch (DESIGN.md §12)
+func (j Judge) CorrectWith(q *dataset.Question, response string, sc *Scratch) bool {
+	if sc == nil {
+		return j.Correct(q, response)
+	}
 	response = strings.TrimSpace(response)
 	if response == "" {
 		return false
 	}
 	switch q.Golden.Kind {
 	case dataset.AnswerChoice:
-		return j.correctChoice(q, response)
+		return j.correctChoice(q, response, sc)
 	case dataset.AnswerNumber:
 		return j.correctNumber(q.Golden, response)
 	case dataset.AnswerExpression:
 		return j.correctExpression(q.Golden, response)
 	default:
-		return j.correctPhrase(q.Golden, response)
+		return j.correctPhrase(q.Golden, response, sc)
 	}
 }
 
 // correctChoice accepts the option letter ("b", "b)", "(b)", "option b",
 // "answer: b") or, unless strict, the full content of the correct
 // option.
-func (j Judge) correctChoice(q *dataset.Question, response string) bool {
+//
+//hot:judge choice-answer path
+func (j Judge) correctChoice(q *dataset.Question, response string, sc *Scratch) bool {
 	letter, ok := extractChoiceLetter(response)
 	if ok {
 		return letter == q.Golden.Choice
@@ -52,16 +75,15 @@ func (j Judge) correctChoice(q *dataset.Question, response string) bool {
 	}
 	// Content match: the response must match the correct option and not
 	// merely mention another option's content.
-	norm := Normalize(response)
-	correct := Normalize(q.Choices[q.Golden.Choice])
-	if norm == correct {
+	norm := sc.normA(response)
+	if bytes.Equal(norm, sc.normB(q.Choices[q.Golden.Choice])) {
 		return true
 	}
 	// A response that contains exactly one option's content counts as
 	// choosing it.
 	matched := -1
 	for i, c := range q.Choices {
-		if containsPhrase(norm, Normalize(c)) {
+		if containsPhraseBytes(norm, sc.normB(c)) {
 			if matched >= 0 {
 				return false // ambiguous
 			}
@@ -71,16 +93,39 @@ func (j Judge) correctChoice(q *dataset.Question, response string) bool {
 	return matched == q.Golden.Choice
 }
 
+// choicePrefixes are the response framings extractChoiceLetter strips
+// before looking for a bare option letter; tried in order, "" last so a
+// raw letter still matches.
+var choicePrefixes = [...]string{"answer:", "answer is", "option", "choice", "(", ""}
+
 // extractChoiceLetter pulls an option letter a-d from typical response
 // shapes; ok is false when the response doesn't look like a letter pick.
+// ASCII responses — every response the shipped models emit — are
+// scanned case-insensitively in place; only non-ASCII input pays for a
+// full Unicode lowering so the historical semantics hold exactly.
+//
+//hot:judge choice-answer path
 func extractChoiceLetter(response string) (int, bool) {
-	s := strings.ToLower(strings.TrimSpace(response))
-	for _, prefix := range []string{"answer:", "answer is", "option", "choice", "(", ""} {
-		t := strings.TrimSpace(strings.TrimPrefix(s, prefix))
+	s := strings.TrimSpace(response)
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			s = strings.ToLower(s)
+			break
+		}
+	}
+	for _, prefix := range choicePrefixes {
+		t := s
+		if prefix != "" && hasFoldPrefixASCII(s, prefix) {
+			t = s[len(prefix):]
+		}
+		t = strings.TrimSpace(t)
 		if len(t) == 0 {
 			continue
 		}
 		c := t[0]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
 		if c < 'a' || c > 'd' {
 			continue
 		}
@@ -96,6 +141,25 @@ func extractChoiceLetter(response string) (int, bool) {
 	return 0, false
 }
 
+// hasFoldPrefixASCII reports whether s starts with the lowercase ASCII
+// prefix under ASCII case folding.
+func hasFoldPrefixASCII(s, prefix string) bool {
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+//hot:judge numeric-answer path
 func (j Judge) correctNumber(g dataset.Answer, response string) bool {
 	rv, runit, ok := ParseNumber(response)
 	if !ok {
@@ -117,39 +181,80 @@ func (j Judge) correctNumber(g dataset.Answer, response string) bool {
 func (j Judge) correctExpression(g dataset.Answer, response string) bool {
 	// Strip a leading "F =" / "Q =" from both sides; the digital
 	// canonicaliser checks functional equivalence.
-	if digital.EquivalentStrings(g.Text, response) {
+	if equivalentExpr(g.Text, response) {
 		return true
 	}
 	if j.Strict {
 		return false
 	}
 	for _, acc := range g.Accept {
-		if digital.EquivalentStrings(acc, response) {
+		if equivalentExpr(acc, response) {
 			return true
 		}
 	}
 	return false
 }
 
-func (j Judge) correctPhrase(g dataset.Answer, response string) bool {
-	norm := Normalize(response)
-	golden := Normalize(g.Text)
-	if norm == golden {
+// exprMemoCap bounds the equivalence memo; past it, results are still
+// computed but no longer cached. An eval run sees at most
+// models×questions×(1+accepts) distinct pairs, far below the cap.
+const exprMemoCap = 1 << 16
+
+// exprMemo caches digital.EquivalentStrings verdicts per
+// (golden, response) pair. Parsing and truth-table comparison are pure,
+// so memoisation cannot change any verdict — it only makes repeated
+// sweeps over the same grid (benchmark loops, multi-model evaluation)
+// allocation-free and parse-free in the steady state.
+var exprMemo struct {
+	sync.RWMutex
+	m map[exprKey]bool
+}
+
+type exprKey struct {
+	golden, response string
+}
+
+// equivalentExpr is a memoised digital.EquivalentStrings.
+func equivalentExpr(golden, response string) bool {
+	k := exprKey{golden, response}
+	exprMemo.RLock()
+	v, ok := exprMemo.m[k]
+	exprMemo.RUnlock()
+	if ok {
+		return v
+	}
+	v = digital.EquivalentStrings(golden, response)
+	exprMemo.Lock()
+	if exprMemo.m == nil {
+		exprMemo.m = make(map[exprKey]bool)
+	}
+	if len(exprMemo.m) < exprMemoCap {
+		exprMemo.m[k] = v
+	}
+	exprMemo.Unlock()
+	return v
+}
+
+//hot:judge phrase-answer path
+func (j Judge) correctPhrase(g dataset.Answer, response string, sc *Scratch) bool {
+	norm := sc.normA(response)
+	golden := sc.normB(g.Text)
+	if bytes.Equal(norm, golden) {
 		return true
 	}
 	if j.Strict {
 		return false
 	}
-	if containsPhrase(norm, golden) ||
-		(len(golden) >= 12 && len(norm) >= 8 && containsPhrase(golden, norm)) {
+	if containsPhraseBytes(norm, golden) ||
+		(len(golden) >= 12 && len(norm) >= 8 && containsPhraseBytes(golden, norm)) {
 		return true
 	}
 	for _, acc := range g.Accept {
-		na := Normalize(acc)
-		if na == "" {
+		na := sc.normB(acc)
+		if len(na) == 0 {
 			continue
 		}
-		if norm == na || containsPhrase(norm, na) {
+		if bytes.Equal(norm, na) || containsPhraseBytes(norm, na) {
 			return true
 		}
 	}
@@ -169,6 +274,35 @@ func containsPhrase(haystack, needle string) bool {
 	idx := 0
 	for {
 		i := strings.Index(haystack[idx:], needle)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(needle)
+		beforeOK := start == 0 || !isWordChar(haystack[start-1])
+		afterOK := end == len(haystack) || !isWordChar(haystack[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+// containsPhraseBytes is containsPhrase over scratch-buffer operands;
+// TestContainsPhraseBytesMatchesString pins the two implementations
+// together.
+//
+//hot:judge phrase containment over scratch buffers
+func containsPhraseBytes(haystack, needle []byte) bool {
+	if len(needle) == 0 {
+		return false
+	}
+	if len(needle) < 2 {
+		return bytes.Equal(haystack, needle)
+	}
+	idx := 0
+	for {
+		i := bytes.Index(haystack[idx:], needle)
 		if i < 0 {
 			return false
 		}

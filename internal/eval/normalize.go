@@ -9,30 +9,113 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Normalize lowercases, trims and collapses whitespace and strips
 // surrounding punctuation — the canonical form short answers are
-// compared in.
+// compared in. Already-canonical input is returned unchanged without
+// allocating, the common case for golden answers normalised at build
+// time and for re-normalising a previous Normalize result.
+//
+//hot:normalize per-event judge path (DESIGN.md §12); canonical inputs must not allocate
 func Normalize(s string) string {
-	s = strings.TrimSpace(strings.ToLower(s))
-	var b strings.Builder
+	if isNormalized(s) {
+		return s
+	}
+	return string(appendNormalized(nil, s))
+}
+
+// isNormalized reports whether Normalize(s) == s, using a conservative
+// single-pass ASCII check: any non-ASCII byte sends the string to the
+// slow path (Unicode lowering and space folding can change bytes in
+// ways a scan without allocation cannot cheaply rule out).
+//
+//hot:normalize fast-path gate for Normalize
+func isNormalized(s string) bool {
+	if len(s) == 0 {
+		return true
+	}
+	if s[0] == ' ' || s[len(s)-1] == ' ' {
+		return false
+	}
+	prevSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= utf8.RuneSelf:
+			return false
+		case c == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		case c >= 'A' && c <= 'Z':
+			return false
+		case c == '.' || c == ',' || c == '!' || c == '"':
+			return false
+		case c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+			return false
+		default:
+			prevSpace = false
+		}
+	}
+	return true
+}
+
+// appendNormalized appends the canonical form of s to dst and returns
+// the extended slice — the allocation-free core behind Normalize and
+// the judge's Scratch buffers. The transform matches the historical
+// Builder loop byte for byte: lowercase, collapse runs of Unicode
+// whitespace to one ' ', drop `.` `,` `!` `"` (without interrupting a
+// whitespace run), trim both ends.
+//
+//hot:normalize every judged response flows through here
+func appendNormalized(dst []byte, s string) []byte {
+	base := len(dst)
 	lastSpace := false
-	for _, r := range s {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			// ASCII fast path: no rune decoding, no case tables.
+			switch {
+			case c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r':
+				if !lastSpace && len(dst) > base {
+					dst = append(dst, ' ')
+					lastSpace = true
+				}
+			case c == '.' || c == ',' || c == '!' || c == '"':
+				// Sentence punctuation dropped; keep signs, parens, units.
+			default:
+				if c >= 'A' && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				dst = append(dst, c)
+				lastSpace = false
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+		r = unicode.ToLower(r)
 		switch {
 		case unicode.IsSpace(r):
-			if !lastSpace && b.Len() > 0 {
-				b.WriteByte(' ')
+			if !lastSpace && len(dst) > base {
+				dst = append(dst, ' ')
 				lastSpace = true
 			}
-		case r == '.' || r == ',' || r == '!' || r == '"':
-			// Sentence punctuation dropped; keep signs, parens, units.
 		default:
-			b.WriteRune(r)
+			dst = utf8.AppendRune(dst, r)
 			lastSpace = false
 		}
 	}
-	return strings.TrimSpace(b.String())
+	// At most one trailing collapsed space to trim.
+	if lastSpace {
+		dst = dst[:len(dst)-1]
+	}
+	return dst
 }
 
 // baseUnits are unit spellings reduced to a canonical token.
@@ -68,19 +151,21 @@ var baseUnits = map[string]string{
 //
 // Examples: "2.2 kOhm" -> (2200, "ohm"); "-10 V/V" -> (-10, "v/v");
 // "about 43 nm of silicon" -> (43, "nm").
+//
+//hot:number per-event judge path for numeric answers; steady-state zero-alloc
 func ParseNumber(resp string) (value float64, unit string, ok bool) {
-	raw := strings.TrimSpace(resp)
-	// ASCII-only lowering keeps byte offsets aligned with raw (full
-	// Unicode case mapping can change byte lengths).
-	s := asciiLower(raw)
-	// Find the first number.
+	s := strings.TrimSpace(resp)
+	// Find the first number. Digits and signs are ASCII, and ASCII bytes
+	// never occur inside a multi-byte UTF-8 rune, so a byte scan over
+	// the raw string is exact — no lowered copy needed.
 	start := -1
-	for i, r := range s {
-		if r >= '0' && r <= '9' {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= '0' && c <= '9' {
 			start = i
 			break
 		}
-		if (r == '-' || r == '+') && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
+		if (c == '-' || c == '+') && i+1 < len(s) && s[i+1] >= '0' && s[i+1] <= '9' {
 			start = i
 			break
 		}
@@ -102,7 +187,7 @@ func ParseNumber(resp string) (value float64, unit string, ok bool) {
 		case c == '.' && !seenDot:
 			seenDot = true
 			end++
-		case (c == 'e') && !seenExp && end+1 < len(s) &&
+		case (c == 'e' || c == 'E') && !seenExp && end+1 < len(s) &&
 			(s[end+1] == '-' || s[end+1] == '+' || s[end+1] >= '0' && s[end+1] <= '9'):
 			// Exponent only when followed by digits (avoid eating words
 			// like "edges").
@@ -127,25 +212,9 @@ numDone:
 	}
 	// Parse the unit token following the number, preserving case so the
 	// mega/milli distinction ("Mrad/s" vs "mrad/s") survives.
-	tok := leadingUnitToken(strings.TrimLeft(raw[end:], " \t"))
+	tok := leadingUnitToken(strings.TrimLeft(s[end:], " \t"))
 	value, unit = applyUnit(v, tok)
 	return value, unit, true
-}
-
-// asciiLower lowercases A-Z only, preserving byte length.
-func asciiLower(s string) string {
-	b := []byte(s)
-	changed := false
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-			changed = true
-		}
-	}
-	if !changed {
-		return s
-	}
-	return string(b)
 }
 
 func leadingUnitToken(s string) string {
@@ -176,23 +245,30 @@ var caseSensitivePrefixes = []struct {
 // applyUnit resolves an attached unit token like "kOhm", "mV", "ns" into
 // (scaledValue, canonicalBaseUnit). Well-known compound spellings are
 // handled first; otherwise a case-sensitive SI prefix is split off.
+// tok is ASCII by construction (leadingUnitToken admits only
+// [a-zA-Z/%]), so an in-place ASCII fold into a stack buffer replaces
+// the old strings.ToLower copy; only the unknown-unit fallback return
+// still materialises a lowered string.
+//
+//hot:number unit resolution on the numeric judge path
 func applyUnit(v float64, tok string) (float64, string) {
 	if tok == "" {
 		return v, ""
 	}
-	low := strings.ToLower(tok)
+	var arr [24]byte
+	low := appendLowerASCII(arr[:0], tok)
 	// Exact unit (handles compound tokens like mV, ns, kHz, rad/s
 	// directly — these carry their own scale). "mhz" always means MHz:
 	// millihertz does not occur in this domain.
-	if u, ok := baseUnits[low]; ok {
-		switch low {
-		case "mv":
+	if u, ok := baseUnits[string(low)]; ok {
+		switch {
+		case string(low) == "mv":
 			return v * 1e-3, "v"
-		case "khz":
+		case string(low) == "khz":
 			return v * 1e3, "hz"
-		case "mhz":
+		case string(low) == "mhz":
 			return v * 1e6, "hz"
-		case "ghz":
+		case string(low) == "ghz":
 			return v * 1e9, "hz"
 		default:
 			return v, u
@@ -200,12 +276,25 @@ func applyUnit(v float64, tok string) (float64, string) {
 	}
 	for _, p := range caseSensitivePrefixes {
 		if strings.HasPrefix(tok, p.text) {
-			if u, ok := baseUnits[strings.ToLower(tok[len(p.text):])]; ok {
+			if u, ok := baseUnits[string(low[len(p.text):])]; ok {
 				return v * p.mult, u
 			}
 		}
 	}
-	return v, low
+	return v, string(low)
+}
+
+// appendLowerASCII appends s to dst with A-Z folded to a-z. Exact for
+// the ASCII-only tokens leadingUnitToken produces.
+func appendLowerASCII(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		dst = append(dst, c)
+	}
+	return dst
 }
 
 // NumbersClose compares two values with a relative tolerance, treating

@@ -35,6 +35,11 @@ type Event struct {
 	// observability-only: reports never contain it, so runs stay
 	// byte-identical regardless of wall-clock behaviour.
 	At time.Time
+	// scratch is the executing worker's judge Scratch, set by Run for the
+	// Infer/Judge stages and cleared before delivery. It is owned by
+	// exactly one worker goroutine (poolown discipline) and must never
+	// escape into a delivered event.
+	scratch *Scratch
 }
 
 // Source yields the run's evaluation tasks in canonical order. Event(i)
@@ -112,12 +117,33 @@ func (p *Pipeline) Run(ctx context.Context) error {
 		obs:     p.Observer,
 		clock:   clock,
 	}
-	forEach(ctx, p.Workers, p.Source.Len(), func(i int) {
+	// One Scratch per worker slot, checked out for the whole run: each
+	// slot belongs to exactly one goroutine (forEachWorker), so the
+	// buffers are reused across every event that worker judges without
+	// locking or per-event pool traffic.
+	n := p.Source.Len()
+	nw := p.Workers
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	scratches := make([]*Scratch, nw)
+	for i := range scratches {
+		scratches[i] = getScratch()
+	}
+	forEachWorker(ctx, p.Workers, n, func(w, i int) {
 		ev := p.Source.Event(i)
+		ev.scratch = scratches[w]
 		p.Infer.Infer(ctx, &ev)
 		p.Judge.Judge(ctx, &ev)
+		ev.scratch = nil
 		d.deliver(ctx, ev)
 	})
+	for _, sc := range scratches {
+		putScratch(sc)
+	}
 	return ctx.Err()
 }
 
@@ -208,13 +234,15 @@ func (st modelInference) Infer(_ context.Context, ev *Event) {
 	ev.Response = ev.Model.Answer(ev.Question, st.opts)
 }
 
-// judgeStage scores the response with the equivalence judge.
+// judgeStage scores the response with the equivalence judge, reusing
+// the executing worker's Scratch so the steady-state judge path does
+// not allocate.
 type judgeStage struct {
 	judge Judge
 }
 
 func (st judgeStage) Judge(_ context.Context, ev *Event) {
-	ev.Correct = st.judge.Correct(ev.Question, ev.Response)
+	ev.Correct = st.judge.CorrectWith(ev.Question, ev.Response, ev.scratch)
 }
 
 // reportSink appends each event to its model's report. Events arrive

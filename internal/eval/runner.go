@@ -129,6 +129,17 @@ func (r Runner) EffectiveWorkers() int {
 // claim, an item in flight always completes, and no index is ever
 // claimed twice. fn must be safe to call from multiple goroutines.
 func forEach(ctx context.Context, workers, n int, fn func(int)) {
+	forEachWorker(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// forEachWorker is forEach with the executing worker's pool slot
+// (0..effective workers-1; always 0 on the serial path) passed to fn.
+// The slot index is what per-worker state — the judge's Scratch
+// checkouts in Pipeline.Run — hangs off: a slot is owned by exactly one
+// goroutine for the whole run, so slot-indexed state needs no locking.
+// The slot must not influence results, only where reusable state lives;
+// determinism across worker counts stays with the caller.
+func forEachWorker(ctx context.Context, workers, n int, fn func(worker, i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -137,7 +148,7 @@ func forEach(ctx context.Context, workers, n int, fn func(int)) {
 			if ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -152,7 +163,7 @@ func forEach(ctx context.Context, workers, n int, fn func(int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
 		}()
 	}
@@ -183,10 +194,31 @@ func (r Runner) Evaluate(m Model, b *dataset.Benchmark) *Report {
 // report holding a consistent prefix of the question order; every
 // result present is byte-identical to the full run's.
 func (r Runner) EvaluateContext(ctx context.Context, m Model, b *dataset.Benchmark) (*Report, error) {
-	rep := &Report{ModelName: m.Name(), Results: make([]QuestionResult, 0, len(b.Questions))}
-	sink := &reportSink{nq: len(b.Questions), reports: []*Report{rep}}
-	err := r.pipeline(benchmarkSource{model: m, questions: b.Questions}, sink).Run(ctx)
+	rep := &Report{}
+	err := r.EvaluateInto(ctx, m, b, rep)
 	return rep, err
+}
+
+// EvaluateInto is EvaluateContext writing into a caller-retained
+// report: rep's ModelName is overwritten and its Results slice is
+// truncated and refilled in place when its capacity already fits the
+// benchmark, so a loop evaluating many models (or the same model
+// repeatedly, as the benchmarks do) reuses one QuestionResult buffer
+// instead of allocating per run.
+func (r Runner) EvaluateInto(ctx context.Context, m Model, b *dataset.Benchmark, rep *Report) error {
+	rep.ModelName = m.Name()
+	rep.Results = sizeResults(rep.Results, len(b.Questions))
+	sink := &reportSink{nq: len(b.Questions), reports: []*Report{rep}}
+	return r.pipeline(benchmarkSource{model: m, questions: b.Questions}, sink).Run(ctx)
+}
+
+// sizeResults truncates rs for refilling, reallocating only when the
+// capacity cannot hold n results.
+func sizeResults(rs []QuestionResult, n int) []QuestionResult {
+	if cap(rs) < n {
+		return make([]QuestionResult, 0, n)
+	}
+	return rs[:0]
 }
 
 // EvaluateAll runs every model and returns reports in input order. The
@@ -205,17 +237,41 @@ func (r Runner) EvaluateAll(models []Model, b *dataset.Benchmark) []*Report {
 // the model at the cut-off has a prefix of its questions, later models
 // are empty.
 func (r Runner) EvaluateAllContext(ctx context.Context, models []Model, b *dataset.Benchmark) ([]*Report, error) {
+	// One header block and one backing array for the whole grid instead
+	// of two allocations per model. The three-index slice expressions
+	// cap each report's window at its own nq results, so an append past
+	// a model's share can never bleed into its neighbour's window.
 	nq := len(b.Questions)
 	out := make([]*Report, len(models))
+	headers := make([]Report, len(models))
+	backing := make([]QuestionResult, len(models)*nq)
+	for i := range models {
+		out[i] = &headers[i]
+		out[i].Results = backing[i*nq : i*nq : (i+1)*nq]
+	}
+	err := r.EvaluateAllInto(ctx, models, b, out)
+	return out, err
+}
+
+// EvaluateAllInto is EvaluateAllContext writing into caller-retained
+// reports (one per model, same order): each report's ModelName is
+// overwritten and its Results refilled in place when capacity fits, so
+// a grid evaluated repeatedly — resolution sweeps, benchmark loops —
+// reuses its QuestionResult buffers across runs.
+func (r Runner) EvaluateAllInto(ctx context.Context, models []Model, b *dataset.Benchmark, reports []*Report) error {
+	if len(reports) != len(models) {
+		return fmt.Errorf("eval: %d reports for %d models", len(reports), len(models))
+	}
+	nq := len(b.Questions)
 	for i, m := range models {
-		out[i] = &Report{ModelName: m.Name(), Results: make([]QuestionResult, 0, nq)}
+		reports[i].ModelName = m.Name()
+		reports[i].Results = sizeResults(reports[i].Results, nq)
 	}
 	if nq == 0 || len(models) == 0 {
-		return out, nil
+		return nil
 	}
-	sink := &reportSink{nq: nq, reports: out}
-	err := r.pipeline(gridSource{models: models, questions: b.Questions}, sink).Run(ctx)
-	return out, err
+	sink := &reportSink{nq: nq, reports: reports}
+	return r.pipeline(gridSource{models: models, questions: b.Questions}, sink).Run(ctx)
 }
 
 // FormatTableII renders reports in the layout of the paper's Table II:

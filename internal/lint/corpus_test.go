@@ -97,6 +97,7 @@ func TestNoDetermCorpus(t *testing.T) { runCorpus(t, "nodeterm", NoDeterm) }
 func TestMapOrderCorpus(t *testing.T) { runCorpus(t, "maporder", MapOrder) }
 func TestPoolOwnCorpus(t *testing.T)  { runCorpus(t, "poolown", PoolOwn) }
 func TestErrDropCorpus(t *testing.T)  { runCorpus(t, "errdrop", ErrDrop) }
+func TestHotAllocCorpus(t *testing.T) { runCorpus(t, "hotalloc", HotAlloc) }
 
 // TestModuleIsLintClean is the meta-test behind the build gate: the
 // real module, in full, must produce zero diagnostics from every

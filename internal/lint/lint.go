@@ -81,7 +81,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every shipped analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, PoolOwn, ErrDrop}
+	return []*Analyzer{NoDeterm, MapOrder, PoolOwn, ErrDrop, HotAlloc}
 }
 
 // Run executes the analyzers over the packages and returns all findings

@@ -1,0 +1,64 @@
+// Corpus for the hotalloc analyzer: allocation patterns inside
+// functions that declare themselves hot with a //hot: marker. Mirrors
+// the pre-batching bootstrap resampler, which formatted its rng stream
+// keys with fmt.Sprint inside the per-chunk loop.
+package hotalloctest
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// hotKeyed formats a per-item key the way the old resampler did.
+//
+//hot:corpus per-chunk key formatting
+func hotKeyed(model string, c int) string {
+	return fmt.Sprint(model, "/", c) // want `fmt\.Sprint allocates its result inside hot function hotKeyed`
+}
+
+// hotConcat builds the key by concatenation instead.
+//
+//hot:corpus string building
+func hotConcat(model string, c string) string {
+	k := model + "/" + c // want `string concatenation allocates inside hot function hotConcat` `string concatenation allocates inside hot function hotConcat`
+	k += "!"             // want `string concatenation allocates inside hot function hotConcat`
+	return k
+}
+
+// hotClosure allocates inside a function literal — still the same hot
+// path when the closure runs per item.
+//
+//hot:corpus closures inherit the marker
+func hotClosure(items []string) []string {
+	out := make([]string, 0, len(items))
+	for i, it := range items {
+		f := func() string {
+			return fmt.Sprintf("%s#%d", it, i) // want `fmt\.Sprintf allocates its result inside hot function hotClosure`
+		}
+		out = append(out, f())
+	}
+	return out
+}
+
+// hotClean stays within the discipline: strconv.Append into a caller
+// buffer, constant concatenation folded at compile time.
+//
+//hot:corpus the approved idioms
+func hotClean(dst []byte, c int) []byte {
+	const prefix = "chunk" + "-" // folded: no runtime allocation
+	dst = append(dst, prefix...)
+	return strconv.AppendInt(dst, int64(c), 10)
+}
+
+// coldKeyed is unmarked: the same patterns are fine on cold paths.
+func coldKeyed(model string, c int) string {
+	return fmt.Sprint(model, "/", c) + "!"
+}
+
+// hotSuppressed shows an explained escape hatch.
+//
+//hot:corpus suppression interplay
+func hotSuppressed(a, b string) string {
+	//lint:ignore hotalloc corpus case demonstrating an explained suppression
+	return a + b
+}

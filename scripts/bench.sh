@@ -16,3 +16,11 @@ sh scripts/verify.sh
 # b.Fatals must fail the script before a snapshot is written.
 go test -run '^$' -bench=. -benchtime=1x ./...
 go run ./cmd/chipvqa bench -o "BENCH_${N}.json"
+# Post-run report: diff against the previous snapshot when one exists.
+# Informational only — single-shot snapshot noise should not fail a
+# recording run; scripts/benchdiff.sh is the gating entry point.
+PREV="BENCH_$((N - 1)).json"
+if [ -f "$PREV" ]; then
+    sh scripts/benchdiff.sh "$PREV" "BENCH_${N}.json" ||
+        echo "bench.sh: regressions vs $PREV reported above (informational)"
+fi

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Compare two bench snapshots and fail on perf regression: any
+# *_ns_per_op field growing more than 20%, or any *_allocs_per_op field
+# growing at all, exits non-zero. Fields unique to either snapshot
+# (schema evolution, e.g. v2 -> v3) are reported but never fail.
+#
+# Usage: scripts/benchdiff.sh OLD.json NEW.json
+set -e
+cd "$(dirname "$0")/.."
+if [ $# -ne 2 ]; then
+    echo "usage: scripts/benchdiff.sh OLD.json NEW.json" >&2
+    exit 2
+fi
+exec go run ./cmd/chipvqa benchdiff "$1" "$2"
