@@ -11,24 +11,39 @@ import (
 // GenerateExtra produces additional Analog Design questions, cycling
 // through seed-parameterised instances of the package's templates.
 func GenerateExtra(seed string, count int) []*dataset.Question {
-	qs := make([]*dataset.Question, 0, count)
-	for i := 0; i < count; i++ {
-		inst := fmt.Sprintf("%s-%d", seed, i)
-		id := fmt.Sprintf("xa-%s-%02d", seed, i)
-		switch i % 5 {
-		case 0:
-			qs = append(qs, extraLadder(id, inst))
-		case 1:
-			qs = append(qs, extraDivider(id, inst))
-		case 2:
-			qs = append(qs, extraCSGain(id, inst))
-		case 3:
-			qs = append(qs, extraRCCutoff(id, inst))
-		default:
-			qs = append(qs, extraClosedLoop(id, inst))
-		}
+	return GenerateExtraRange(seed, 0, count)
+}
+
+// GenerateExtraRange produces only the extended questions with indices
+// in [lo, hi); each is a pure function of (seed, index), so a window is
+// byte-identical to the same slice of a full build.
+func GenerateExtraRange(seed string, lo, hi int) []*dataset.Question {
+	if hi <= lo {
+		return nil
+	}
+	qs := make([]*dataset.Question, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		qs = append(qs, ExtraAt(seed, i))
 	}
 	return qs
+}
+
+// ExtraAt builds the i-th extended Analog Design question of a fold.
+func ExtraAt(seed string, i int) *dataset.Question {
+	inst := fmt.Sprintf("%s-%d", seed, i)
+	id := fmt.Sprintf("xa-%s-%02d", seed, i)
+	switch i % 5 {
+	case 0:
+		return extraLadder(id, inst)
+	case 1:
+		return extraDivider(id, inst)
+	case 2:
+		return extraCSGain(id, inst)
+	case 3:
+		return extraRCCutoff(id, inst)
+	default:
+		return extraClosedLoop(id, inst)
+	}
 }
 
 // resistorE24 picks a plausible resistor value.

@@ -7,9 +7,10 @@ import "repro/internal/dataset"
 // than hard-importing every discipline package.
 func init() {
 	dataset.RegisterGenerator(dataset.Generator{
-		Name:          "analog",
-		Category:      dataset.Analog,
-		Generate:      Generate,
-		GenerateExtra: GenerateExtra,
+		Name:               "analog",
+		Category:           dataset.Analog,
+		Generate:           Generate,
+		GenerateExtra:      GenerateExtra,
+		GenerateExtraRange: GenerateExtraRange,
 	})
 }

@@ -11,26 +11,41 @@ import (
 // GenerateExtra produces additional Architecture questions, cycling
 // through seed-parameterised instances of the package's templates.
 func GenerateExtra(seed string, count int) []*dataset.Question {
-	qs := make([]*dataset.Question, 0, count)
-	for i := 0; i < count; i++ {
-		inst := fmt.Sprintf("%s-%d", seed, i)
-		id := fmt.Sprintf("xr-%s-%02d", seed, i)
-		switch i % 6 {
-		case 0:
-			qs = append(qs, extraCacheSets(id, inst))
-		case 1:
-			qs = append(qs, extraAMAT(id, inst))
-		case 2:
-			qs = append(qs, extraMeshHops(id, inst))
-		case 3:
-			qs = append(qs, extraPipelineCPI(id, inst))
-		case 4:
-			qs = append(qs, extraOoO(id, inst))
-		default:
-			qs = append(qs, extraPredictor(id, inst))
-		}
+	return GenerateExtraRange(seed, 0, count)
+}
+
+// GenerateExtraRange produces only the extended questions with indices
+// in [lo, hi); each is a pure function of (seed, index), so a window is
+// byte-identical to the same slice of a full build.
+func GenerateExtraRange(seed string, lo, hi int) []*dataset.Question {
+	if hi <= lo {
+		return nil
+	}
+	qs := make([]*dataset.Question, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		qs = append(qs, ExtraAt(seed, i))
 	}
 	return qs
+}
+
+// ExtraAt builds the i-th extended Architecture question of a fold.
+func ExtraAt(seed string, i int) *dataset.Question {
+	inst := fmt.Sprintf("%s-%d", seed, i)
+	id := fmt.Sprintf("xr-%s-%02d", seed, i)
+	switch i % 6 {
+	case 0:
+		return extraCacheSets(id, inst)
+	case 1:
+		return extraAMAT(id, inst)
+	case 2:
+		return extraMeshHops(id, inst)
+	case 3:
+		return extraPipelineCPI(id, inst)
+	case 4:
+		return extraOoO(id, inst)
+	default:
+		return extraPredictor(id, inst)
+	}
 }
 
 func extraCacheSets(id, inst string) *dataset.Question {

@@ -7,9 +7,10 @@ import "repro/internal/dataset"
 // than hard-importing every discipline package.
 func init() {
 	dataset.RegisterGenerator(dataset.Generator{
-		Name:          "arch",
-		Category:      dataset.Architecture,
-		Generate:      Generate,
-		GenerateExtra: GenerateExtra,
+		Name:               "arch",
+		Category:           dataset.Architecture,
+		Generate:           Generate,
+		GenerateExtra:      GenerateExtra,
+		GenerateExtraRange: GenerateExtraRange,
 	})
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Timing gates skip under it: instrumentation slows the
+// memory-dense decode path far more than the generation baseline, so
+// ratios measured under -race say nothing about real performance.
+const raceEnabled = true

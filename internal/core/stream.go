@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// StreamExtended generates the same fold as BuildExtended(seed,
+// perCategory) but delivers it as a sequence of shards of at most
+// shardSize questions, so a large fold never has to exist as a single
+// slice. Shards arrive in canonical category-major order and
+// concatenating them is byte-identical to the monolithic build: each
+// discipline's extended questions are pure functions of (seed, index),
+// and shard windows are cut with the registry's ExtraRange primitive,
+// which honours the prefix contract GenerateExtraRange(seed, lo, hi)
+// == GenerateExtra(seed, hi)[lo:].
+//
+// yield is called once per shard, in order, on the calling goroutine;
+// returning a non-nil error stops the stream and propagates the error.
+// The shard's Questions slice must not be retained after yield returns.
+//
+// ID disjointness needs no global dedup set here: every discipline
+// prefixes its extended IDs with a distinct marker (xd-/xa-/xr-/xm-/
+// xp-) followed by the seed and within-category index, so IDs are
+// unique across categories and across folds by construction. Each
+// question is still individually validated before delivery.
+func StreamExtended(seed string, perCategory, shardSize int, yield func(dataset.Shard) error) error {
+	if perCategory <= 0 {
+		return fmt.Errorf("core: perCategory must be positive, got %d", perCategory)
+	}
+	if shardSize <= 0 {
+		return fmt.Errorf("core: shardSize must be positive, got %d", shardSize)
+	}
+	if yield == nil {
+		return fmt.Errorf("core: StreamExtended requires a yield callback")
+	}
+	gens, err := registeredGenerators()
+	if err != nil {
+		return err
+	}
+	total := len(gens) * perCategory
+	for start, idx := 0, 0; start < total; start, idx = start+shardSize, idx+1 {
+		end := min(start+shardSize, total)
+		qs := make([]*dataset.Question, 0, end-start)
+		for g := start / perCategory; g < len(gens) && g*perCategory < end; g++ {
+			base := g * perCategory
+			lo := max(start, base) - base
+			hi := min(end, base+perCategory) - base
+			qs = append(qs, gens[g].ExtraRange(seed, lo, hi)...)
+		}
+		for _, q := range qs {
+			if err := q.Validate(); err != nil {
+				return fmt.Errorf("core: shard %d: %w", idx, err)
+			}
+		}
+		if err := yield(dataset.Shard{Index: idx, Start: start, Questions: qs}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectExtended rebuilds the monolithic fold from its own stream —
+// primarily a test and tooling helper proving the equivalence, but also
+// the convenient path when a caller wants shard-bounded generation cost
+// with a whole-fold result.
+func CollectExtended(seed string, perCategory, shardSize int) (*dataset.Benchmark, error) {
+	b := &dataset.Benchmark{
+		Name:      fmt.Sprintf("ChipVQA-extended-%s", seed),
+		Questions: make([]*dataset.Question, 0, 5*perCategory),
+	}
+	err := StreamExtended(seed, perCategory, shardSize, func(s dataset.Shard) error {
+		b.Questions = append(b.Questions, s.Questions...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}

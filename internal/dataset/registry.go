@@ -28,6 +28,28 @@ type Generator struct {
 	// questions for extended collections; distinct seeds must give
 	// disjoint folds.
 	GenerateExtra func(seed string, count int) []*Question
+	// GenerateExtraRange produces only the extended questions with
+	// within-category indices in [lo, hi) — the window primitive the
+	// streaming shard API is built on. It must satisfy the prefix
+	// contract: GenerateExtraRange(seed, lo, hi) is element-for-element
+	// identical to GenerateExtra(seed, hi)[lo:], so shard assembly is
+	// byte-identical to a monolithic build. Optional for back-compat;
+	// when nil, ExtraRange falls back to generating the full prefix.
+	GenerateExtraRange func(seed string, lo, hi int) []*Question
+}
+
+// ExtraRange returns g's extended questions with indices in [lo, hi),
+// using the windowed generator when the discipline registered one and
+// the (memory-proportional-to-hi) GenerateExtra prefix fallback
+// otherwise. All five built-in disciplines register the windowed form.
+func (g Generator) ExtraRange(seed string, lo, hi int) []*Question {
+	if hi <= lo {
+		return nil
+	}
+	if g.GenerateExtraRange != nil {
+		return g.GenerateExtraRange(seed, lo, hi)
+	}
+	return g.GenerateExtra(seed, hi)[lo:]
 }
 
 // registry is the process-wide generator table. Registration happens

@@ -1,0 +1,24 @@
+package dataset
+
+// Shard is one contiguous window of a benchmark fold delivered by a
+// streaming builder. Questions carries at most the stream's shard size
+// entries and is positioned at global index Start within the fold's
+// canonical category-major order, so concatenating every shard in
+// Index order reproduces the monolithic build exactly.
+//
+// Ownership: the slice is valid for the duration of the yield callback
+// and must not be retained afterwards — the producer is free to reuse
+// or drop it. Consumers that need questions beyond the callback must
+// copy the slice (the *Question values themselves are immutable after
+// generation and safe to keep).
+type Shard struct {
+	// Index is the zero-based shard number within the stream.
+	Index int
+	// Start is the global index of Questions[0] in the fold.
+	Start int
+	// Questions holds the shard's window of the fold.
+	Questions []*Question
+}
+
+// End returns the global index one past the shard's last question.
+func (s Shard) End() int { return s.Start + len(s.Questions) }

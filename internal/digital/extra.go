@@ -13,26 +13,42 @@ import (
 // package's templates with seed-parameterised instances; IDs are
 // prefixed so they never collide with the standard collection.
 func GenerateExtra(seed string, count int) []*dataset.Question {
-	qs := make([]*dataset.Question, 0, count)
-	for i := 0; i < count; i++ {
-		inst := fmt.Sprintf("%s-%d", seed, i)
-		id := fmt.Sprintf("xd-%s-%02d", seed, i)
-		switch i % 6 {
-		case 0:
-			qs = append(qs, extraTruthTable(id, inst))
-		case 1:
-			qs = append(qs, extraCircuit(id, inst))
-		case 2:
-			qs = append(qs, extraCounter(id, inst))
-		case 3:
-			qs = append(qs, extraTwosComplement(id, inst))
-		case 4:
-			qs = append(qs, extraDetector(id, inst))
-		default:
-			qs = append(qs, extraGray(id, inst))
-		}
+	return GenerateExtraRange(seed, 0, count)
+}
+
+// GenerateExtraRange produces only the extended questions with indices
+// in [lo, hi). Every question is a pure function of (seed, index), so a
+// window is byte-identical to the same slice of a full build — the
+// contract the streaming shard assembly relies on.
+func GenerateExtraRange(seed string, lo, hi int) []*dataset.Question {
+	if hi <= lo {
+		return nil
+	}
+	qs := make([]*dataset.Question, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		qs = append(qs, ExtraAt(seed, i))
 	}
 	return qs
+}
+
+// ExtraAt builds the i-th extended Digital Design question of a fold.
+func ExtraAt(seed string, i int) *dataset.Question {
+	inst := fmt.Sprintf("%s-%d", seed, i)
+	id := fmt.Sprintf("xd-%s-%02d", seed, i)
+	switch i % 6 {
+	case 0:
+		return extraTruthTable(id, inst)
+	case 1:
+		return extraCircuit(id, inst)
+	case 2:
+		return extraCounter(id, inst)
+	case 3:
+		return extraTwosComplement(id, inst)
+	case 4:
+		return extraDetector(id, inst)
+	default:
+		return extraGray(id, inst)
+	}
 }
 
 func extraTruthTable(id, inst string) *dataset.Question {

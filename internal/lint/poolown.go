@@ -14,6 +14,11 @@ import (
 //     cached buffer back to the pool and corrupts every later reader.
 //   - Images returned by Render, Downsample, Clone and RenderQuestion
 //     are caller-owned and may be released exactly once.
+//   - Images handed out by SceneCache.AcquireRender and
+//     SceneCache.AcquireDownsampled are cache-owned too: the paired
+//     release func is the only legal way to end the pin, and calling
+//     ReleaseImage on the image would recycle a buffer the cache may
+//     still hand to other readers.
 //   - After ReleaseImage(v), v must not be released again, returned, or
 //     stored into a field — its Pix is gone.
 //
@@ -202,9 +207,14 @@ func (w *poolWalker) assign(env poolEnv, s *ast.AssignStmt) {
 		if v == nil {
 			continue
 		}
-		if len(s.Lhs) == len(s.Rhs) {
+		switch {
+		case len(s.Lhs) == len(s.Rhs):
 			env[v] = w.classify(env, s.Rhs[i])
-		} else {
+		case i == 0 && len(s.Rhs) == 1 && w.isAcquireCall(s.Rhs[0]):
+			// img, release := c.AcquireRender(s): the image stays
+			// cache-owned; the release func is the only legal path.
+			env[v] = ownShared
+		default:
 			delete(env, v) // multi-value assignment: unknown
 		}
 		if env[v] == ownUnknown {
@@ -297,6 +307,20 @@ func (w *poolWalker) varOf(id *ast.Ident) *types.Var {
 	}
 	v, _ := obj.(*types.Var)
 	return v
+}
+
+// isAcquireCall reports whether e calls a pinned-handle producer
+// (SceneCache.AcquireRender / AcquireDownsampled). Their (image,
+// release) results keep the image cache-owned: only the release func
+// may end the pin, never ReleaseImage.
+func (w *poolWalker) isAcquireCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(w.info(), call)
+	return isMethodOn(fn, "internal/visual", "SceneCache", "AcquireRender") ||
+		isMethodOn(fn, "internal/visual", "SceneCache", "AcquireDownsampled")
 }
 
 // isSharedProducer reports whether fn returns a cache-shared image that

@@ -81,6 +81,34 @@ func legitimateLifecycle(s *visual.Scene, cond bool) *image.RGBA {
 	return clone
 }
 
+func releasesAcquiredImage(c *visual.SceneCache, s *visual.Scene) {
+	img, release := c.AcquireRender(s)
+	visual.ReleaseImage(img) // want `releasing img, which holds a shared cache-owned image`
+	release()
+}
+
+func releasesAcquiredDownsample(c *visual.SceneCache, s *visual.Scene) {
+	img, release := c.AcquireDownsampled(s, 8)
+	defer release()
+	visual.ReleaseImage(img) // want `releasing img, which holds a shared cache-owned image`
+}
+
+// acquireLifecycle is the legal pinned-handle pattern under cache
+// eviction pressure: the paired release func — idempotent, safe to call
+// from a defer and again explicitly — is the only path back to the
+// pool; a Clone taken from the pinned image is caller-owned as usual.
+func acquireLifecycle(c *visual.SceneCache, s *visual.Scene) *image.RGBA {
+	img, release := c.AcquireRender(s)
+	defer release()
+	snapshot := visual.Clone(img)
+	visual.ReleaseImage(snapshot)
+	scaled, releaseScaled := c.AcquireDownsampled(s, 8)
+	keep := visual.Clone(scaled)
+	releaseScaled()
+	release()
+	return keep
+}
+
 func suppressedRelease(s *visual.Scene) {
 	img := visual.CachedRender(s)
 	//lint:ignore poolown corpus case demonstrating an explained suppression

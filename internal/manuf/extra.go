@@ -11,26 +11,41 @@ import (
 // GenerateExtra produces additional Manufacture questions, cycling
 // through seed-parameterised instances of the package's templates.
 func GenerateExtra(seed string, count int) []*dataset.Question {
-	qs := make([]*dataset.Question, 0, count)
-	for i := 0; i < count; i++ {
-		inst := fmt.Sprintf("%s-%d", seed, i)
-		id := fmt.Sprintf("xm-%s-%02d", seed, i)
-		switch i % 6 {
-		case 0:
-			qs = append(qs, extraEtchTime(id, inst))
-		case 1:
-			qs = append(qs, extraRayleigh(id, inst))
-		case 2:
-			qs = append(qs, extraYield(id, inst))
-		case 3:
-			qs = append(qs, extraDOF(id, inst))
-		case 4:
-			qs = append(qs, extraAerialCD(id, inst))
-		default:
-			qs = append(qs, extraMEEF(id, inst))
-		}
+	return GenerateExtraRange(seed, 0, count)
+}
+
+// GenerateExtraRange produces only the extended questions with indices
+// in [lo, hi); each is a pure function of (seed, index), so a window is
+// byte-identical to the same slice of a full build.
+func GenerateExtraRange(seed string, lo, hi int) []*dataset.Question {
+	if hi <= lo {
+		return nil
+	}
+	qs := make([]*dataset.Question, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		qs = append(qs, ExtraAt(seed, i))
 	}
 	return qs
+}
+
+// ExtraAt builds the i-th extended Manufacture question of a fold.
+func ExtraAt(seed string, i int) *dataset.Question {
+	inst := fmt.Sprintf("%s-%d", seed, i)
+	id := fmt.Sprintf("xm-%s-%02d", seed, i)
+	switch i % 6 {
+	case 0:
+		return extraEtchTime(id, inst)
+	case 1:
+		return extraRayleigh(id, inst)
+	case 2:
+		return extraYield(id, inst)
+	case 3:
+		return extraDOF(id, inst)
+	case 4:
+		return extraAerialCD(id, inst)
+	default:
+		return extraMEEF(id, inst)
+	}
 }
 
 func extraEtchTime(id, inst string) *dataset.Question {

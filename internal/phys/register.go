@@ -7,9 +7,10 @@ import "repro/internal/dataset"
 // than hard-importing every discipline package.
 func init() {
 	dataset.RegisterGenerator(dataset.Generator{
-		Name:          "phys",
-		Category:      dataset.Physical,
-		Generate:      Generate,
-		GenerateExtra: GenerateExtra,
+		Name:               "phys",
+		Category:           dataset.Physical,
+		Generate:           Generate,
+		GenerateExtra:      GenerateExtra,
+		GenerateExtraRange: GenerateExtraRange,
 	})
 }

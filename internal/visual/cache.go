@@ -3,7 +3,6 @@ package visual
 import (
 	"image"
 	"sync"
-	"sync/atomic"
 )
 
 // SceneCache memoizes per-scene visual artifacts across evaluation runs:
@@ -20,33 +19,99 @@ import (
 // after first use with a cache — everything in this repository treats
 // them as immutable once built.
 //
+// # Memory budget
+//
+// At 100k-question scale an unbounded cache would retain one 1.2MB
+// render per scene. SetBudget caps retained bytes: entries are tracked
+// in a single least-recently-used list and, whenever an insert pushes
+// the total over the budget, evicted from the cold end until it fits.
+// Eviction order is a pure function of the access sequence — one mutex
+// orders all accesses, so a serial workload evicts identically on every
+// run. A budget of 0 (the default, and the Default cache's setting)
+// disables eviction.
+//
+// # Ownership of evicted pixels
+//
+// Images handed out by Render/Downsampled are shared: any number of
+// callers may still hold one when its entry is evicted, so its pixel
+// buffer can never be returned to the pool — the entry is simply
+// dropped and the image becomes ordinary garbage. Callers that want
+// eviction to recycle pixels use AcquireRender/AcquireDownsampled,
+// which pin the entry and return a release func; once an evicted
+// entry's last release is called — and the image was never also handed
+// out share-style — its buffer goes back to the per-size pixel pool
+// (see pool.go for the ownership contract).
+//
 // All methods are safe for concurrent use. Returned images and slices
 // are shared; callers must treat them as read-only (use Clone for a
 // private mutable copy).
 type SceneCache struct {
-	renders   sync.Map // renderKey -> *entryAny (*image.RGBA)
-	losses    sync.Map // renderKey -> *entryAny ([]float64)
-	criticals sync.Map // renderKey{scene, 0} -> *entryAny ([]Element)
-	hits      atomic.Uint64
-	misses    atomic.Uint64
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	lru     cacheEntry // ring sentinel: lru.next is hottest, lru.prev coldest
+
+	budget       int64 // retained-byte cap; 0 = unlimited
+	bytes        int64 // currently retained
+	peak         int64 // high-water mark of bytes, sampled after eviction
+	evictedBytes int64
+	hits         uint64
+	misses       uint64
+	evictions    uint64
 }
 
-type renderKey struct {
+// artifactKind distinguishes the three artifact tables that share the
+// cache's single LRU list.
+type artifactKind uint8
+
+const (
+	artRender    artifactKind = iota // *image.RGBA
+	artLosses                        // []float64
+	artCriticals                     // []Element
+)
+
+type cacheKey struct {
 	scene  *Scene
 	factor int
+	kind   artifactKind
 }
 
-// entryAny computes its value exactly once even when many goroutines
-// miss on the same key concurrently.
-type entryAny struct {
+// cacheEntry computes its value exactly once even when many goroutines
+// miss on the same key concurrently, and carries the LRU bookkeeping.
+// val is published by once.Do (safe to read after it returns); every
+// other field is guarded by the cache mutex.
+type cacheEntry struct {
+	key  cacheKey
 	once sync.Once
 	val  any
+
+	weight   int64
+	computed bool // weight is known; entry participates in byte accounting
+	tracked  bool // still in the map and LRU list
+	evicted  bool // evicted while pinned; pool pixels at the last release
+	shared   bool // handed out without a release handle; never pool pixels
+	refs     int  // outstanding Acquire handles
+
+	prev, next *cacheEntry
 }
 
-// CacheStats reports cache effectiveness.
+// Byte-accounting estimates. Weights approximate retained heap, not
+// measure it exactly: the pixel buffer or slice payload plus a flat
+// per-entry overhead for the entry, map slot and headers.
+const (
+	entryOverhead = 128
+	elementBytes  = 160 // rough footprint of one Element value
+)
+
+// CacheStats reports cache effectiveness and byte pressure.
 type CacheStats struct {
 	Hits   uint64
 	Misses uint64
+
+	Evictions    uint64 // entries dropped under byte pressure
+	EvictedBytes int64  // cumulative weight of dropped entries
+	Bytes        int64  // weight currently retained
+	PeakBytes    int64  // high-water mark of Bytes (sampled after eviction)
+	Budget       int64  // configured cap; 0 = unlimited
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any lookup.
@@ -58,11 +123,20 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// NewSceneCache returns an empty cache.
+// NewSceneCache returns an empty cache with no byte budget.
 func NewSceneCache() *SceneCache { return &SceneCache{} }
 
 // Default is the process-wide cache the evaluation engine uses.
 var Default = NewSceneCache()
+
+// SetBudget caps the cache's retained bytes, evicting immediately if
+// the current contents exceed it. A budget of 0 removes the cap.
+func (c *SceneCache) SetBudget(n int64) {
+	c.mu.Lock()
+	c.budget = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
 
 // Render returns the scene rasterised at full resolution, rendering at
 // most once per scene.
@@ -83,23 +157,55 @@ func (c *SceneCache) Downsampled(s *Scene, factor int) *image.RGBA {
 }
 
 func (c *SceneCache) image(s *Scene, factor int, compute func() *image.RGBA) *image.RGBA {
-	e := c.lookup(&c.renders, renderKey{s, factor})
-	e.once.Do(func() { e.val = compute() })
+	e := c.get(cacheKey{s, factor, artRender}, false, func() (any, int64) {
+		img := compute()
+		return img, int64(len(img.Pix)) + entryOverhead
+	})
 	return e.val.(*image.RGBA)
+}
+
+// AcquireRender is Render with pinned ownership: the entry cannot have
+// its pixels recycled while the handle is outstanding, and if the entry
+// is evicted under byte pressure the buffer returns to the pixel pool
+// at the final release (unless the same image was also handed out via
+// Render/Downsampled, which makes it permanently shared). The image is
+// valid only until release; release is idempotent.
+func (c *SceneCache) AcquireRender(s *Scene) (*image.RGBA, func()) {
+	return c.acquireImage(s, 1, func() *image.RGBA { return Render(s) })
+}
+
+// AcquireDownsampled is Downsampled with pinned ownership; see
+// AcquireRender. factor <= 1 pins the full-resolution render entry.
+func (c *SceneCache) AcquireDownsampled(s *Scene, factor int) (*image.RGBA, func()) {
+	if factor <= 1 {
+		return c.AcquireRender(s)
+	}
+	return c.acquireImage(s, factor, func() *image.RGBA {
+		return Downsample(c.Render(s), factor)
+	})
+}
+
+func (c *SceneCache) acquireImage(s *Scene, factor int, compute func() *image.RGBA) (*image.RGBA, func()) {
+	e := c.get(cacheKey{s, factor, artRender}, true, func() (any, int64) {
+		img := compute()
+		return img, int64(len(img.Pix)) + entryOverhead
+	})
+	var once sync.Once
+	release := func() { once.Do(func() { c.releaseRef(e) }) }
+	return e.val.(*image.RGBA), release
 }
 
 // CriticalLosses returns LegibilityLoss(factor, e.Salience) for every
 // critical element of the scene, in CriticalElements order, computed
 // once per (scene, factor) instead of once per (model, question, element).
 func (c *SceneCache) CriticalLosses(s *Scene, factor int) []float64 {
-	e := c.lookup(&c.losses, renderKey{s, factor})
-	e.once.Do(func() {
+	e := c.get(cacheKey{s, factor, artLosses}, false, func() (any, int64) {
 		crit := s.CriticalElements()
 		out := make([]float64, len(crit))
 		for i, el := range crit {
 			out[i] = LegibilityLoss(factor, el.Salience)
 		}
-		e.val = out
+		return out, int64(8*len(out)) + entryOverhead
 	})
 	return e.val.([]float64)
 }
@@ -107,39 +213,159 @@ func (c *SceneCache) CriticalLosses(s *Scene, factor int) []float64 {
 // Criticals returns s.CriticalElements() memoized per scene, so the
 // filtered slice is built once rather than on every perception call.
 func (c *SceneCache) Criticals(s *Scene) []Element {
-	e := c.lookup(&c.criticals, renderKey{s, 0})
-	e.once.Do(func() { e.val = s.CriticalElements() })
+	e := c.get(cacheKey{s, 0, artCriticals}, false, func() (any, int64) {
+		crit := s.CriticalElements()
+		return crit, int64(len(crit))*elementBytes + entryOverhead
+	})
 	return e.val.([]Element)
 }
 
-// lookup is the hit/miss-counting map access shared by the render and
-// loss tables; the entry's Once guarantees single computation per key.
-func (c *SceneCache) lookup(m *sync.Map, k renderKey) *entryAny {
-	if v, ok := m.Load(k); ok {
-		c.hits.Add(1)
-		return v.(*entryAny)
+// get is the single lookup path. It finds or inserts the entry for k,
+// counts the hit or miss, marks how the value is being handed out
+// (pinned vs shared — recorded before the mutex drops, so a concurrent
+// eviction can never recycle pixels a caller is about to receive),
+// computes the value outside the lock via the entry's Once, then folds
+// the weight into the byte accounting and evicts down to budget.
+func (c *SceneCache) get(k cacheKey, pin bool, compute func() (any, int64)) *cacheEntry {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[cacheKey]*cacheEntry)
+		c.lru.next, c.lru.prev = &c.lru, &c.lru
 	}
-	v, loaded := m.LoadOrStore(k, &entryAny{})
-	if loaded {
-		c.hits.Add(1)
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+		c.listRemove(e)
+		c.listPushFront(e)
 	} else {
-		c.misses.Add(1)
+		e = &cacheEntry{key: k, tracked: true}
+		c.entries[k] = e
+		c.listPushFront(e)
+		c.misses++
 	}
-	return v.(*entryAny)
+	if pin {
+		e.refs++
+	} else {
+		e.shared = true
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		v, w := compute()
+		e.val = v
+		c.mu.Lock()
+		e.weight = w
+		e.computed = true
+		if e.tracked { // Reset may have dropped the entry mid-compute
+			c.bytes += w
+			c.evictLocked()
+			c.peak = max(c.peak, c.bytes)
+		}
+		c.mu.Unlock()
+	})
+	return e
 }
 
-// Stats returns the cumulative hit/miss counters.
+// releaseRef drops one Acquire handle. The last release of an entry
+// that was evicted while pinned returns its pixels to the pool.
+func (c *SceneCache) releaseRef(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	if e.refs == 0 && e.evicted {
+		c.recycleLocked(e)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops cold entries until retained bytes fit the budget.
+// Entries still computing are skipped (their weight is unknown and a
+// waiter is about to read them); pinned entries are evicted from the
+// accounting immediately but keep their pixels until the last release.
+func (c *SceneCache) evictLocked() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget {
+		e := c.lru.prev
+		for e != &c.lru && !e.computed {
+			e = e.prev
+		}
+		if e == &c.lru {
+			return
+		}
+		delete(c.entries, e.key)
+		c.listRemove(e)
+		e.tracked = false
+		c.bytes -= e.weight
+		c.evictions++
+		c.evictedBytes += e.weight
+		if e.refs > 0 {
+			e.evicted = true
+		} else {
+			c.recycleLocked(e)
+		}
+	}
+}
+
+// recycleLocked returns an evicted entry's pixel buffer to the pool —
+// only legal when no handle is outstanding and the image was never
+// handed out share-style (shared readers may hold it indefinitely).
+func (c *SceneCache) recycleLocked(e *cacheEntry) {
+	if e.shared {
+		return
+	}
+	if img, ok := e.val.(*image.RGBA); ok {
+		ReleaseImage(img)
+	}
+}
+
+func (c *SceneCache) listPushFront(e *cacheEntry) {
+	e.prev = &c.lru
+	e.next = c.lru.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+func (c *SceneCache) listRemove(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// Stats returns the cumulative counters and current byte pressure.
 func (c *SceneCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		EvictedBytes: c.evictedBytes,
+		Bytes:        c.bytes,
+		PeakBytes:    c.peak,
+		Budget:       c.budget,
+	}
 }
 
-// Reset drops every cached artifact and zeroes the counters.
+// Reset drops every cached artifact and zeroes the counters (the
+// budget is configuration, not a counter, and survives). Pixel buffers
+// follow the eviction ownership rules: pinned entries recycle at their
+// last release, shared images are left to the garbage collector.
 func (c *SceneCache) Reset() {
-	c.renders.Range(func(k, _ any) bool { c.renders.Delete(k); return true })
-	c.losses.Range(func(k, _ any) bool { c.losses.Delete(k); return true })
-	c.criticals.Range(func(k, _ any) bool { c.criticals.Delete(k); return true })
-	c.hits.Store(0)
-	c.misses.Store(0)
+	c.mu.Lock()
+	for _, e := range c.entries {
+		c.listRemove(e)
+		e.tracked = false
+		if e.refs > 0 {
+			e.evicted = true
+		} else if e.computed {
+			c.recycleLocked(e)
+		}
+	}
+	clear(c.entries)
+	c.bytes, c.peak, c.evictedBytes = 0, 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.mu.Unlock()
 }
 
 // Clone returns a private mutable copy of a (possibly cached) image.

@@ -15,6 +15,16 @@ sh scripts/verify.sh
 # Smoke-run every benchmark once first: a benchmark that panics or
 # b.Fatals must fail the script before a snapshot is written.
 go test -run '^$' -bench=. -benchtime=1x ./...
+# Smoke the scale path end to end: pack a 10k-question fold to the
+# binary codec (with CRC + per-question check on reload), then stream a
+# budgeted evaluation over it. Failures here mean the codec or the
+# memory envelope broke, which the snapshot's scale section would
+# otherwise record as garbage numbers.
+SMOKE="$(mktemp -t chipvqa-smoke.XXXXXX.cvqb)"
+trap 'rm -f "$SMOKE"' EXIT
+go run ./cmd/chipvqa pack -seed smoke -n 2000 -shard 512 -o "$SMOKE" -check
+go run ./cmd/chipvqa extended -packed "$SMOKE" -eval -stream \
+    -downsample 8 -cachebudget 1048576 > /dev/null
 go run ./cmd/chipvqa bench -o "BENCH_${N}.json"
 # Post-run report: diff against the previous snapshot when one exists.
 # Informational only — single-shot snapshot noise should not fail a
