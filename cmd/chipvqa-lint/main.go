@@ -8,13 +8,15 @@
 //
 // Usage:
 //
-//	chipvqa-lint [-only name[,name...]] [./...]
+//	chipvqa-lint [-only name[,name...]] [-json] [./...]
 //
 // The only accepted package pattern is the whole module (`./...` or no
 // argument); the analyzers are invariant checks, not spot tools, and
 // several of them reason about cross-package contracts. -only restricts
-// the run to a comma-separated subset of analyzers. Suppress a single
-// finding with an in-source directive:
+// the run to a comma-separated subset of analyzers; -json emits the
+// diagnostics as one versioned JSON document on stdout (schema
+// "chipvqa-lint/1", root-relative slash paths, sorted — suitable as a
+// CI artifact). Suppress a single finding with an in-source directive:
 //
 //	//lint:ignore <analyzer> <reason>
 //
@@ -40,6 +42,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "write diagnostics as a versioned JSON document on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,8 +79,15 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *asJSON {
+		if err := lint.WriteJSON(stdout, loader.Root(), loader.ModulePath(), analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "chipvqa-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "chipvqa-lint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))

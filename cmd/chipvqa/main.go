@@ -149,7 +149,9 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "evaluation workers (0 = auto/GOMAXPROCS, 1 = serial)")
 }
 
-func cmdStats(ctx context.Context, args []string) error {
+// cmdStats only formats in-memory tables, so it takes no cancellation
+// point: the blank context keeps the command signature uniform.
+func cmdStats(_ context.Context, args []string) error {
 	fs := newFlagSet("stats")
 	coverage := fs.Bool("coverage", false, "print the category x visual-type coverage matrix")
 	if err := fs.Parse(args); err != nil {
@@ -304,6 +306,9 @@ func cmdExport(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err // interrupted before the file exists: leave nothing behind
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -336,6 +341,12 @@ func cmdRender(ctx context.Context, args []string) error {
 	}
 	count := 0
 	for _, q := range suite.Benchmark.Questions {
+		// One render per question can mean hundreds of files: honour
+		// SIGINT between questions so an interrupted run stops at a
+		// file boundary instead of plowing through the whole set.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if *only != "" && q.ID != *only {
 			continue
 		}
@@ -360,7 +371,9 @@ func cmdRender(ctx context.Context, args []string) error {
 	return nil
 }
 
-func cmdAsk(ctx context.Context, args []string) error {
+// cmdAsk evaluates one (model, question) pair — far too quick to need
+// a cancellation point, hence the blank context.
+func cmdAsk(_ context.Context, args []string) error {
 	fs := newFlagSet("ask")
 	model := fs.String("model", "GPT4o", "model name")
 	qid := fs.String("q", "d01", "question ID")
@@ -574,6 +587,11 @@ func cmdPack(ctx context.Context, args []string) error {
 	count := 0
 	start := now()
 	err = chipvqa.StreamExtended(*seed, *n, *shardSize, func(sh chipvqa.Shard) error {
+		// Shards stream for as long as -n asks; stop at a shard
+		// boundary when interrupted instead of finishing the fold.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		count += len(sh.Questions)
 		return pw.WriteShard(sh)
 	})
@@ -626,7 +644,7 @@ func cmdCompare(ctx context.Context, args []string) error {
 		return err
 	}
 	suite.Workers = *workers
-	res, cis, err := suite.Compare(*a, *b)
+	res, cis, err := suite.CompareContext(ctx, *a, *b)
 	if err != nil {
 		return err
 	}
@@ -669,6 +687,11 @@ func cmdFineTune(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("domain-adaptation study: base=%s, train pool=%d, held-out test=%d\n",
 		*model, pool.Len(), test.Len())
+	// The learning-curve sweep evaluates five adapted models; bail out
+	// before it rather than after an interrupt has been ignored.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	curve := vlm.LearningCurve(sim, pool, test, []int{0, 5, 10, 20, 30}, vlm.DefaultTraining())
 	for _, pt := range curve {
 		fmt.Printf("  train %2d/category: held-out Pass@1 = %.3f\n", pt.TrainPerCategory, pt.Pass1)
@@ -1140,7 +1163,9 @@ func cmdBench(ctx context.Context, args []string) error {
 // fields are not comparable: they are printed with a skipped-field
 // note and never counted as regressions (allocs/op is
 // machine-independent and still gates).
-func cmdBenchDiff(ctx context.Context, args []string) error {
+// cmdBenchDiff compares two small JSON files — no cancellation point
+// needed, hence the blank context.
+func cmdBenchDiff(_ context.Context, args []string) error {
 	fs := newFlagSet("benchdiff")
 	tol := fs.Float64("tol", 0.20, "allowed fractional ns/op growth before failing")
 	if err := fs.Parse(args); err != nil {

@@ -135,6 +135,55 @@ func TestCmdEvalInterrupted(t *testing.T) {
 	}
 }
 
+// TestCmdRenderInterrupted pins the ctxflow fix: render honours
+// cancellation at question boundaries, so a dead context stops the run
+// before any PNG is written instead of plowing through all 142 files.
+func TestCmdRenderInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := filepath.Join(t.TempDir(), "renders")
+	if err := cmdRender(ctx, []string{"-dir", dir}); err != context.Canceled {
+		t.Fatalf("cmdRender on dead ctx = %v, want context.Canceled", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("cancelled render still wrote %d files", len(entries))
+	}
+}
+
+// TestCmdInterruptedFileCommands covers the remaining cancellation
+// seams added with the ctxflow analyzer: export must not create the
+// output file, pack must stop at a shard boundary, compare and
+// finetune must surface the context error before their sweeps.
+func TestCmdInterruptedFileCommands(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dir := t.TempDir()
+
+	jsonPath := filepath.Join(dir, "bench.json")
+	if err := cmdExport(ctx, []string{"-o", jsonPath}); err != context.Canceled {
+		t.Fatalf("cmdExport on dead ctx = %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(jsonPath); !os.IsNotExist(err) {
+		t.Fatalf("cancelled export left %s behind (stat err %v)", jsonPath, err)
+	}
+
+	packPath := filepath.Join(dir, "x.cvqb")
+	if err := cmdPack(ctx, []string{"-o", packPath, "-n", "2"}); err != context.Canceled {
+		t.Fatalf("cmdPack on dead ctx = %v, want context.Canceled", err)
+	}
+
+	if err := cmdCompare(ctx, nil); err != context.Canceled {
+		t.Fatalf("cmdCompare on dead ctx = %v, want context.Canceled", err)
+	}
+	if err := cmdFineTune(ctx, nil); err != context.Canceled {
+		t.Fatalf("cmdFineTune on dead ctx = %v, want context.Canceled", err)
+	}
+}
+
 // TestUsageWriter pins the help contract: `chipvqa help` writes usage to
 // the writer it is handed (stdout, exit 0) rather than stderr.
 func TestUsageWriter(t *testing.T) {

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the intra-module static call graph the facts layer
+// (facts.go) propagates over. One node per declared function or method
+// with a body; edges are statically resolved calls (calleeOf), so
+// indirect calls through function values and interface methods are not
+// edges — analyzers treat them as non-blocking unknowns, which keeps
+// the may-block fact a must-style under-approximation instead of
+// "everything blocks".
+
+// A cgNode is one declared function in the call graph.
+type cgNode struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	// syncCallees are the statically resolved callees reachable on the
+	// caller's own goroutine: calls inside `go func() { ... }` bodies
+	// are excluded, because their blocking happens on the spawned
+	// goroutine, not the spawner's.
+	syncCallees []*types.Func
+
+	// seedBlock is non-empty when the body itself contains a blocking
+	// operation (channel op, select with no default, or a call to a
+	// blocking stdlib root) outside goroutine-spawned literals; it
+	// holds the first such reason in source order.
+	seedBlock string
+
+	// spawns reports whether the body contains any go statement,
+	// including inside nested function literals.
+	spawns bool
+
+	takesCtx bool
+}
+
+// A callGraph indexes the module's declared functions. order preserves
+// (file, declaration) source order, which keeps every downstream
+// iteration — and therefore every derived diagnostic — deterministic.
+type callGraph struct {
+	nodes map[*types.Func]*cgNode
+	order []*cgNode
+}
+
+// buildCallGraph collects one node per function declaration across the
+// packages. Packages without type information (possible in tests that
+// hand-build a Package) contribute no nodes.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{nodes: make(map[*types.Func]*cgNode)}
+	for _, pkg := range pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &cgNode{fn: fn, decl: fd, pkg: pkg, takesCtx: signatureTakesCtx(fn)}
+				collectBody(pkg.Info, fd.Body, n)
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	return g
+}
+
+// collectBody records spawn sites, direct blocking operations and the
+// synchronously reachable callees of one function body. Bodies of
+// goroutine-spawned function literals contribute neither blocking
+// seeds nor sync callees, but go statements anywhere (including inside
+// nested literals) mark the function as a spawner. Non-spawned
+// function literals (deferred closures, sort.Slice callbacks, sync.Once
+// arguments) are treated as running on the caller's goroutine — a
+// conservative over-approximation that matches how this module uses
+// them.
+func collectBody(info *types.Info, body ast.Node, n *cgNode) {
+	seed := func(async bool, reason string) {
+		if !async && n.seedBlock == "" {
+			n.seedBlock = reason
+		}
+	}
+	var walk func(node ast.Node, async bool)
+	walk = func(node ast.Node, async bool) {
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.GoStmt:
+				n.spawns = true
+				// Arguments are evaluated on the caller's goroutine;
+				// only the call itself runs asynchronously.
+				for _, arg := range x.Call.Args {
+					walk(arg, async)
+				}
+				if lit, ok := unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				}
+				return false
+			case *ast.CallExpr:
+				if fn := calleeOf(info, x); fn != nil && !async {
+					n.syncCallees = append(n.syncCallees, fn)
+					if reason, ok := blockingRoot(fn); ok {
+						seed(async, reason)
+					}
+				}
+			case *ast.SendStmt:
+				seed(async, "sends on a channel")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					seed(async, "receives from a channel")
+				}
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						seed(async, "ranges over a channel")
+					}
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(x) {
+					seed(async, "selects with no default")
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (which makes it non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureTakesCtx reports whether the function signature has a
+// context.Context parameter.
+func signatureTakesCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -98,6 +98,15 @@ func TestMapOrderCorpus(t *testing.T) { runCorpus(t, "maporder", MapOrder) }
 func TestPoolOwnCorpus(t *testing.T)  { runCorpus(t, "poolown", PoolOwn) }
 func TestErrDropCorpus(t *testing.T)  { runCorpus(t, "errdrop", ErrDrop) }
 func TestHotAllocCorpus(t *testing.T) { runCorpus(t, "hotalloc", HotAlloc) }
+func TestCtxFlowCorpus(t *testing.T)  { runCorpus(t, "ctxflow", CtxFlow) }
+func TestGoLeakCorpus(t *testing.T)   { runCorpus(t, "goleak", GoLeak) }
+func TestLockSafeCorpus(t *testing.T) { runCorpus(t, "locksafe", LockSafe) }
+
+// TestDirectiveCorpus pins the suppression-placement index: a package
+// dense with trailing and own-line directives must suppress exactly
+// the covered lines (all directives used, so the stale check stays
+// silent) while uncovered sites still fire.
+func TestDirectiveCorpus(t *testing.T) { runCorpus(t, "directive", NoDeterm) }
 
 // TestModuleIsLintClean is the meta-test behind the build gate: the
 // real module, in full, must produce zero diagnostics from every

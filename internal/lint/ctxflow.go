@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation plumbing of DESIGN.md §11: once a
+// function accepts a context.Context, concurrency and blocking work
+// inside it must be bounded by that context. Two rules:
+//
+//  1. A function that receives a ctx parameter but never consults it
+//     (no use of the parameter at all) while spawning goroutines or
+//     doing may-block work is flagged — the signature promises
+//     cancellation the body cannot deliver.
+//  2. context.Background()/context.TODO() mint unbounded contexts, so
+//     outside package main, tests, and the blessed seam list they are
+//     flagged — except when passed directly to a *Context-suffixed
+//     wrapper (the documented "non-Context API wraps the Context one"
+//     idiom) or used as a nil-ctx default inside an `if ctx == nil`
+//     guard.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "a function taking context.Context must consult it before spawning goroutines or blocking; " +
+		"context.Background/TODO are confined to main, tests, and blessed seams",
+	Run: runCtxFlow,
+}
+
+// ctxflowSeams lists functions ("pkgPath.FuncName") allowed to mint
+// background contexts: entry points that by design have no caller
+// context. The corpus package pins the mechanism.
+var ctxflowSeams = map[string]bool{
+	"repro/internal/lint/testdata/ctxflow.blessedSeam": true,
+}
+
+func runCtxFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass.Pkg.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkCtxConsulted(pass, fd)
+			}
+		}
+		checkBackgroundCalls(pass, f)
+	}
+}
+
+// checkCtxConsulted implements rule 1 for one function declaration.
+func checkCtxConsulted(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	facts := pass.Facts.Of(fn)
+	if !facts.Spawns && !facts.MayBlock {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := info.Defs[name].(*types.Var)
+			if !ok || !isContextType(obj.Type()) {
+				continue
+			}
+			if identUsed(info, fd.Body, obj) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"%s receives ctx but never consults it, yet it %s; forward it, select on ctx.Done(), or rename the parameter to _",
+				fd.Name.Name, ctxWhy(facts))
+		}
+	}
+}
+
+// ctxWhy renders the reason rule 1 fired.
+func ctxWhy(facts FuncFacts) string {
+	switch {
+	case facts.Spawns && facts.MayBlock:
+		return "spawns goroutines and may block (" + facts.BlockReason + ")"
+	case facts.Spawns:
+		return "spawns goroutines"
+	default:
+		return "may block (" + facts.BlockReason + ")"
+	}
+}
+
+// identUsed reports whether obj is referenced anywhere inside body.
+func identUsed(info *types.Info, body ast.Node, obj *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkBackgroundCalls implements rule 2 for one file.
+func checkBackgroundCalls(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	if pass.Pkg.Types != nil && pass.Pkg.Types.Name() == "main" {
+		return // binaries own their root context
+	}
+
+	for _, fd := range topLevelFuncs(f) {
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := backgroundCall(info, call)
+			if !ok {
+				return true
+			}
+			if blessedBackground(info, fd, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() mints an unbounded context outside main/tests; plumb the caller's ctx through instead",
+				name)
+			return true
+		})
+	}
+}
+
+// backgroundCall reports whether the call is context.Background() or
+// context.TODO(), returning which.
+func backgroundCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// blessedBackground reports whether a Background/TODO call site is one
+// of the allowed idioms:
+//
+//   - inside a function on the ctxflowSeams allow list;
+//   - a direct argument to a call whose callee name ends in "Context"
+//     (Evaluate wrapping EvaluateContext and friends);
+//   - the sole RHS of `ctx = context.Background()` guarded by
+//     `if ctx == nil` (defaulting a nil context at an API boundary).
+func blessedBackground(info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok && fn.Pkg() != nil {
+		if ctxflowSeams[fn.Pkg().Path()+"."+fn.Name()] {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n == call {
+				return true
+			}
+			callee := ""
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.Ident:
+				callee = fun.Name
+			case *ast.SelectorExpr:
+				callee = fun.Sel.Name
+			}
+			if !strings.HasSuffix(callee, "Context") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if unparen(arg) == call {
+					found = true
+					return false
+				}
+			}
+		case *ast.IfStmt:
+			if nilGuardAssigns(n, call) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// topLevelFuncs returns the file's function declarations with bodies.
+func topLevelFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// nilGuardAssigns reports whether ifStmt is `if x == nil { x = <call> }`
+// (in either comparison order), the blessed nil-context default.
+func nilGuardAssigns(ifStmt *ast.IfStmt, call *ast.CallExpr) bool {
+	cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op.String() != "==" {
+		return false
+	}
+	guarded := nilCompareTarget(cond)
+	if guarded == "" {
+		return false
+	}
+	found := false
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if ok && lhs.Name == guarded && unparen(as.Rhs[0]) == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nilCompareTarget returns the identifier compared against nil in a
+// binary ==, or "".
+func nilCompareTarget(cond *ast.BinaryExpr) string {
+	x, xOK := unparen(cond.X).(*ast.Ident)
+	y, yOK := unparen(cond.Y).(*ast.Ident)
+	if xOK && yOK {
+		switch {
+		case y.Name == "nil":
+			return x.Name
+		case x.Name == "nil":
+			return y.Name
+		}
+	}
+	return ""
+}

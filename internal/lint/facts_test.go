@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFactsCorpus type-checks the ctxflow corpus (it exercises every
+// fact: ctx params, spawns, direct and transitive blocking) and
+// computes facts over it.
+func loadFactsCorpus(t *testing.T) (*Package, *Facts) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "ctxflow"))
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	return pkg, ComputeFacts([]*Package{pkg})
+}
+
+// lookupFunc finds a package-level function by name.
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("function %s not found in %s", name, pkg.Path)
+	}
+	return fn
+}
+
+func TestComputeFacts(t *testing.T) {
+	pkg, facts := loadFactsCorpus(t)
+	cases := []struct {
+		fn          string
+		takesCtx    bool
+		spawns      bool
+		mayBlock    bool
+		reasonSubst string
+	}{
+		{"sendsWithoutCtx", true, false, true, "sends on a channel"},
+		{"spawnsWithoutCtx", true, true, false, ""},
+		{"helperBlock", false, false, true, "receives from a channel"},
+		{"blocksTransitively", true, false, true, "calls ctxflowtest.helperBlock"},
+		{"consultsDone", true, false, true, "selects with no default"},
+		{"forwardsCtx", true, false, true, "calls ctxflowtest.consultsDone"},
+		{"pureWithCtx", true, false, false, ""},
+		{"wrapsContextVariant", false, false, false, ""},
+	}
+	for _, c := range cases {
+		got := facts.Of(lookupFunc(t, pkg, c.fn))
+		if got.TakesCtx != c.takesCtx || got.Spawns != c.spawns || got.MayBlock != c.mayBlock {
+			t.Errorf("%s: got %+v, want takesCtx=%v spawns=%v mayBlock=%v",
+				c.fn, got, c.takesCtx, c.spawns, c.mayBlock)
+		}
+		if c.reasonSubst != "" && !strings.Contains(got.BlockReason, c.reasonSubst) {
+			t.Errorf("%s: block reason %q does not contain %q", c.fn, got.BlockReason, c.reasonSubst)
+		}
+	}
+}
+
+// TestFactsSpawnedBodyDoesNotBlockSpawner pins the go-body exclusion:
+// a channel send inside `go func() { ... }` blocks the spawned
+// goroutine, not the caller, so it must not make the spawner may-block.
+func TestFactsSpawnedBodyDoesNotBlockSpawner(t *testing.T) {
+	pkg, facts := loadFactsCorpus(t)
+	got := facts.Of(lookupFunc(t, pkg, "spawnsWithoutCtx"))
+	if got.MayBlock {
+		t.Fatalf("spawnsWithoutCtx: spawned body's send leaked into the spawner's may-block fact: %+v", got)
+	}
+	if !got.Spawns {
+		t.Fatalf("spawnsWithoutCtx: spawn fact missing: %+v", got)
+	}
+}
+
+// TestFactsStdlibBlockingRoots checks the root table through the
+// public MayBlock fallback for functions outside the module.
+func TestFactsStdlibBlockingRoots(t *testing.T) {
+	pkg, facts := loadFactsCorpus(t)
+	// The corpus imports context; context.Background is not a blocking
+	// root.
+	ctxPkg := pkg.Types.Imports()[0]
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() == "context" {
+			ctxPkg = imp
+		}
+	}
+	bg, ok := ctxPkg.Scope().Lookup("Background").(*types.Func)
+	if !ok {
+		t.Fatal("context.Background not found")
+	}
+	if reason, blocks := facts.MayBlock(bg); blocks {
+		t.Fatalf("context.Background misclassified as blocking: %q", reason)
+	}
+}
+
+// TestComputeFactsDeterministic re-runs fact computation and compares
+// the transitive block reasons, which are sensitive to propagation
+// order.
+func TestComputeFactsDeterministic(t *testing.T) {
+	pkg, facts1 := loadFactsCorpus(t)
+	facts2 := ComputeFacts([]*Package{pkg})
+	for _, name := range []string{"blocksTransitively", "forwardsCtx", "mintsBackground"} {
+		fn := lookupFunc(t, pkg, name)
+		a, b := facts1.Of(fn), facts2.Of(fn)
+		if a != b {
+			t.Errorf("%s: facts differ across runs: %+v vs %+v", name, a, b)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// JSONSchema versions the machine-readable diagnostic format. Bump it
+// on any incompatible field change so CI consumers can detect drift.
+const JSONSchema = "chipvqa-lint/1"
+
+// jsonReport is the stable envelope written by WriteJSON.
+type jsonReport struct {
+	Schema      string           `json:"schema"`
+	Module      string           `json:"module"`
+	Analyzers   []string         `json:"analyzers"`
+	Count       int              `json:"count"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as one indented JSON document with a
+// versioned schema. File paths are made root-relative (slash-separated)
+// so output is stable across checkouts; analyzer names are sorted; the
+// diagnostics keep the deterministic order Run produced.
+func WriteJSON(w io.Writer, root, module string, analyzers []*Analyzer, diags []Diagnostic) error {
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	out := jsonReport{
+		Schema:      JSONSchema,
+		Module:      module,
+		Analyzers:   names,
+		Count:       len(diags),
+		Diagnostics: make([]jsonDiagnostic, 0, len(diags)),
+	}
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !isParentPath(rel) {
+				file = rel
+			}
+		}
+		out.Diagnostics = append(out.Diagnostics, jsonDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// isParentPath reports whether a relative path escapes its base.
+func isParentPath(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}

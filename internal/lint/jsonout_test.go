@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func jsonFixture() (string, []*Analyzer, []Diagnostic) {
+	root := filepath.Join("/", "work", "repo")
+	analyzers := []*Analyzer{{Name: "locksafe"}, {Name: "ctxflow"}}
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "a.go"), Line: 3, Column: 7},
+			Analyzer: "ctxflow",
+			Message:  "first finding",
+		},
+		{
+			Pos:      token.Position{Filename: filepath.Join(root, "internal", "b.go"), Line: 9, Column: 1},
+			Analyzer: "locksafe",
+			Message:  "second finding",
+		},
+	}
+	return root, analyzers, diags
+}
+
+func TestWriteJSON(t *testing.T) {
+	root, analyzers, diags := jsonFixture()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, "repro", analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output does not round-trip: %v\n%s", err, buf.String())
+	}
+	if got.Schema != JSONSchema {
+		t.Errorf("schema = %q, want %q", got.Schema, JSONSchema)
+	}
+	if got.Module != "repro" {
+		t.Errorf("module = %q, want repro", got.Module)
+	}
+	// Analyzer names are sorted regardless of registry order.
+	if len(got.Analyzers) != 2 || got.Analyzers[0] != "ctxflow" || got.Analyzers[1] != "locksafe" {
+		t.Errorf("analyzers = %v, want [ctxflow locksafe]", got.Analyzers)
+	}
+	if got.Count != 2 || len(got.Diagnostics) != 2 {
+		t.Fatalf("count = %d with %d diagnostics, want 2/2", got.Count, len(got.Diagnostics))
+	}
+	// Paths are root-relative and slash-separated for checkout stability.
+	if got.Diagnostics[0].File != "internal/a.go" {
+		t.Errorf("file = %q, want internal/a.go", got.Diagnostics[0].File)
+	}
+	if got.Diagnostics[0].Line != 3 || got.Diagnostics[0].Col != 7 || got.Diagnostics[0].Analyzer != "ctxflow" {
+		t.Errorf("diagnostic fields not preserved: %+v", got.Diagnostics[0])
+	}
+}
+
+// TestWriteJSONStable pins byte-for-byte stability: two renders of the
+// same input must be identical, since CI diffing depends on it.
+func TestWriteJSONStable(t *testing.T) {
+	root, analyzers, diags := jsonFixture()
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, root, "repro", analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, root, "repro", analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("output not stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestWriteJSONOutsideRoot keeps foreign paths absolute rather than
+// fabricating ../ traversals.
+func TestWriteJSONOutsideRoot(t *testing.T) {
+	root, analyzers, _ := jsonFixture()
+	outside := filepath.Join("/", "elsewhere", "c.go")
+	diags := []Diagnostic{{
+		Pos:      token.Position{Filename: outside, Line: 1, Column: 1},
+		Analyzer: "ctxflow",
+		Message:  "finding",
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, "repro", analyzers, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Diagnostics[0].File != filepath.ToSlash(outside) {
+		t.Errorf("file = %q, want %q", got.Diagnostics[0].File, filepath.ToSlash(outside))
+	}
+	if got.Count != 1 {
+		t.Errorf("count = %d, want 1", got.Count)
+	}
+}
+
+// TestWriteJSONEmpty renders a clean run: zero findings must still be
+// a valid, versioned document (the CI artifact step uploads it
+// unconditionally).
+func TestWriteJSONEmpty(t *testing.T) {
+	root, analyzers, _ := jsonFixture()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, "repro", analyzers, nil); err != nil {
+		t.Fatal(err)
+	}
+	var got jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != JSONSchema || got.Count != 0 || got.Diagnostics == nil {
+		t.Errorf("empty report malformed: %+v (diagnostics must be [], not null)", got)
+	}
+}

@@ -54,8 +54,13 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 
+	// Facts holds the module-wide cross-function facts (takes-ctx,
+	// may-block, spawns-goroutine) computed once per Run over all
+	// loaded packages. See facts.go.
+	Facts *Facts
+
 	diags    *[]Diagnostic
-	suppress map[suppressKey]bool
+	suppress map[suppressKey]*suppressRecord
 }
 
 // suppressKey identifies one (file, line, analyzer) suppression target.
@@ -65,11 +70,19 @@ type suppressKey struct {
 	analyzer string
 }
 
+// suppressRecord tracks one suppression target so that directives that
+// never match a finding can themselves be reported as stale.
+type suppressRecord struct {
+	pos  token.Position // position of the //lint:ignore comment
+	used bool
+}
+
 // Reportf records a finding at pos unless a //lint:ignore directive for
 // this analyzer covers the line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	if p.suppress[suppressKey{position.Filename, position.Line, p.Analyzer.Name}] {
+	if rec, ok := p.suppress[suppressKey{position.Filename, position.Line, p.Analyzer.Name}]; ok {
+		rec.used = true
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -81,22 +94,30 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every shipped analyzer, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, PoolOwn, ErrDrop, HotAlloc}
+	return []*Analyzer{NoDeterm, MapOrder, PoolOwn, ErrDrop, HotAlloc, CtxFlow, GoLeak, LockSafe}
 }
 
 // Run executes the analyzers over the packages and returns all findings
 // sorted by position. Malformed //lint: control comments are reported as
 // findings of the pseudo-analyzer "directive", so a typo in a
-// suppression can never silently disable a check.
+// suppression can never silently disable a check; a well-formed
+// suppression that no longer matches any finding of an analyzer that
+// ran is reported as stale for the same reason.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	facts := ComputeFacts(pkgs)
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		suppress, bad := collectSuppressions(pkg)
 		diags = append(diags, bad...)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, suppress: suppress}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, diags: &diags, suppress: suppress}
 			a.Run(pass)
 		}
+		diags = append(diags, staleSuppressions(suppress, ran)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -120,11 +141,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // collectSuppressions scans a package's comments for //lint:ignore
 // directives and returns the suppression set plus diagnostics for any
 // malformed //lint: comment. A trailing comment suppresses its own
-// line; a comment on its own line suppresses the next line.
-func collectSuppressions(pkg *Package) (map[suppressKey]bool, []Diagnostic) {
-	suppress := make(map[suppressKey]bool)
+// line; a comment on its own line suppresses the next line. Each
+// file's line→code-end index is computed once (one AST walk per file),
+// so a file with many directives stays linear.
+func collectSuppressions(pkg *Package) (map[suppressKey]*suppressRecord, []Diagnostic) {
+	suppress := make(map[suppressKey]*suppressRecord)
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
+		var lineEnds map[int]token.Pos
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !IsDirective(c.Text) {
@@ -140,12 +164,15 @@ func collectSuppressions(pkg *Package) (map[suppressKey]bool, []Diagnostic) {
 					})
 					continue
 				}
+				if lineEnds == nil {
+					lineEnds = codeLineEnds(pkg.Fset, f)
+				}
 				line := pos.Line
-				if !commentTrailsCode(pkg.Fset, f, c) {
-					line++
+				if end, ok := lineEnds[line]; !ok || end > c.Pos() {
+					line++ // own-line comment: suppress the next line
 				}
 				for _, name := range d.Analyzers {
-					suppress[suppressKey{pos.Filename, line, name}] = true
+					suppress[suppressKey{pos.Filename, line, name}] = &suppressRecord{pos: pos}
 				}
 			}
 		}
@@ -153,27 +180,57 @@ func collectSuppressions(pkg *Package) (map[suppressKey]bool, []Diagnostic) {
 	return suppress, bad
 }
 
-// commentTrailsCode reports whether the comment shares its line with
-// code (a trailing comment) rather than standing on a line of its own.
-func commentTrailsCode(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
-	line := fset.Position(c.Pos()).Line
-	trails := false
+// codeLineEnds indexes, for each source line that holds non-comment
+// code, the smallest End position of a code node ending on that line.
+// A directive comment trails code exactly when its line has such an
+// end at or before the comment's start.
+func codeLineEnds(fset *token.FileSet, f *ast.File) map[int]token.Pos {
+	ends := make(map[int]token.Pos)
 	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil || trails {
+		if n == nil {
 			return false
 		}
-		if _, ok := n.(*ast.Comment); ok {
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
 			return false
 		}
-		if _, ok := n.(*ast.CommentGroup); ok {
-			return false
+		line := fset.Position(n.End()).Line
+		if cur, ok := ends[line]; !ok || n.End() < cur {
+			ends[line] = n.End()
 		}
-		if fset.Position(n.End()).Line == line && n.End() <= c.Pos() {
-			trails = true
-		}
-		return !trails
+		return true
 	})
-	return trails
+	return ends
+}
+
+// staleSuppressions reports //lint:ignore directives that matched no
+// finding of any analyzer that ran. Directives naming analyzers outside
+// the ran set are left alone (a -only run must not flag suppressions
+// belonging to the analyzers it skipped). Output is sorted by directive
+// position for determinism.
+func staleSuppressions(suppress map[suppressKey]*suppressRecord, ran map[string]bool) []Diagnostic {
+	var stale []Diagnostic
+	for key, rec := range suppress {
+		if rec.used || !ran[key.analyzer] {
+			continue
+		}
+		stale = append(stale, Diagnostic{
+			Pos:      rec.pos,
+			Analyzer: "directive",
+			Message:  fmt.Sprintf("stale //lint:ignore: no %s finding on the suppressed line", key.analyzer),
+		})
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return stale
 }
 
 // isTestFile reports whether the file position belongs to a _test.go

@@ -72,6 +72,9 @@ func NewLoader(dir string) (*Loader, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modPath }
 

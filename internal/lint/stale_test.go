@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStaleSuppressionReported pins the stale-directive check: a
+// well-formed //lint:ignore that matches no finding of an analyzer
+// that ran is itself a "directive" finding, while directives for
+// analyzers outside the run stay untouched (a -only run must not flag
+// the suppressions of analyzers it skipped).
+func TestStaleSuppressionReported(t *testing.T) {
+	src := `package p
+
+func a() {
+	hit() //lint:ignore fake suppresses a real finding
+	clean() //lint:ignore fake nothing fires here, so this is stale
+	clean() //lint:ignore other analyzer not in this run
+}
+`
+	pkg := parseRawPkg(t, src)
+	fake := &Analyzer{Name: "fake", Run: func(pass *Pass) {
+		file := pass.Pkg.Fset.File(pass.Pkg.Files[0].Pos())
+		pass.Reportf(file.LineStart(4), "finding on line 4")
+	}}
+	diags := Run([]*Package{pkg}, []*Analyzer{fake})
+
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly the stale report", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "directive" || d.Pos.Line != 5 {
+		t.Fatalf("got %s at line %d, want a directive finding at line 5", d, d.Pos.Line)
+	}
+	if !strings.Contains(d.Message, "stale //lint:ignore") || !strings.Contains(d.Message, "no fake finding") {
+		t.Fatalf("unexpected stale message: %q", d.Message)
+	}
+}
+
+// TestStaleSuppressionScopedToRanAnalyzers runs zero analyzers: no
+// suppression can be judged stale when nothing ran.
+func TestStaleSuppressionScopedToRanAnalyzers(t *testing.T) {
+	src := `package p
+
+func a() {
+	clean() //lint:ignore fake would be stale if fake ran
+}
+`
+	pkg := parseRawPkg(t, src)
+	if diags := Run([]*Package{pkg}, nil); len(diags) != 0 {
+		t.Fatalf("got %v, want no diagnostics when no analyzers run", diags)
+	}
+}

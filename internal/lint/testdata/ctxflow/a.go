@@ -1,0 +1,113 @@
+// Corpus for the ctxflow analyzer: context parameters that are never
+// consulted while the function spawns or blocks, and unbounded
+// context.Background/TODO minting, next to the blessed idioms that must
+// stay clean.
+package ctxflowtest
+
+import "context"
+
+// ---- rule 1: ctx received but never consulted ----
+
+func sendsWithoutCtx(ctx context.Context, ch chan int) { // want `\[ctxflow\] sendsWithoutCtx receives ctx but never consults it, yet it may block \(sends on a channel\)`
+	ch <- 1
+}
+
+func spawnsWithoutCtx(ctx context.Context, done chan struct{}) { // want `spawnsWithoutCtx receives ctx but never consults it, yet it spawns goroutines`
+	go func() {
+		done <- struct{}{}
+	}()
+}
+
+// helperBlock gives transitive propagation something to find: it has no
+// ctx of its own, so rule 1 does not apply here.
+func helperBlock(ch chan int) int {
+	return <-ch
+}
+
+func blocksTransitively(ctx context.Context, ch chan int) int { // want `blocksTransitively receives ctx but never consults it, yet it may block \(calls ctxflowtest\.helperBlock\)`
+	return helperBlock(ch)
+}
+
+// ---- rule 1 non-firing ----
+
+// consultsDone selects on ctx.Done, so the blocking is ctx-bounded.
+func consultsDone(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// forwardsCtx hands ctx to the callee; consultation happens there.
+func forwardsCtx(ctx context.Context, ch chan int) int {
+	return consultsDone(ctx, ch)
+}
+
+// checksErr polls ctx.Err before blocking.
+func checksErr(ctx context.Context, ch chan int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return <-ch
+}
+
+// underscoreCtx opted out explicitly: the signature keeps interface
+// compatibility, and the blank name documents the non-use.
+func underscoreCtx(_ context.Context, ch chan int) int {
+	return <-ch
+}
+
+// pureWithCtx never spawns or blocks, so an unused ctx is harmless.
+func pureWithCtx(ctx context.Context, a, b int) int {
+	return a + b
+}
+
+// ---- rule 2: Background/TODO minting ----
+
+func mintsBackground(ch chan int) {
+	ctx := context.Background() // want `context\.Background\(\) mints an unbounded context outside main/tests`
+	consultsDone(ctx, ch)
+}
+
+func mintsTODO(ch chan int) {
+	ctx := context.TODO() // want `context\.TODO\(\) mints an unbounded context outside main/tests`
+	consultsDone(ctx, ch)
+}
+
+// ---- rule 2 non-firing ----
+
+func runContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// wrapsContextVariant is the blessed non-Context-wrapping-Context idiom:
+// Background passed directly to a *Context callee.
+func wrapsContextVariant(n int) int {
+	return runContext(context.Background(), n)
+}
+
+// defaultsNilCtx is the blessed nil-guard default at an API boundary.
+func defaultsNilCtx(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runContext(ctx, n)
+}
+
+// blessedSeam is on the ctxflowSeams allow list, pinning the seam
+// mechanism: entry points with no caller context may mint one.
+func blessedSeam(n int) int {
+	ctx := context.Background()
+	return runContext(ctx, n)
+}
+
+func suppressedMint(ch chan int) {
+	//lint:ignore ctxflow corpus case demonstrating an explained suppression
+	ctx := context.Background()
+	consultsDone(ctx, ch)
+}

@@ -1,0 +1,60 @@
+// Corpus for the suppression machinery itself: a dense block of
+// trailing and own-line directives pins the per-file line→code-end
+// index that decides which line each directive covers. Every directive
+// here must be used (the stale-suppression check runs module-wide), and
+// the unsuppressed sites must still fire.
+package directivetest
+
+import "time"
+
+// manyTrailing stresses the trailing-placement path: each directive
+// shares its line with the code it covers.
+func manyTrailing() []time.Time {
+	var ts []time.Time
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 1
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 2
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 3
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 4
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 5
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 6
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 7
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 8
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 9
+	ts = append(ts, time.Now()) //lint:ignore nodeterm corpus: trailing suppression 10
+	return ts
+}
+
+// manyOwnLine stresses the own-line path: each directive stands alone
+// and covers the next line.
+func manyOwnLine() []time.Time {
+	var ts []time.Time
+	//lint:ignore nodeterm corpus: own-line suppression 1
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 2
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 3
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 4
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 5
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 6
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 7
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 8
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 9
+	ts = append(ts, time.Now())
+	//lint:ignore nodeterm corpus: own-line suppression 10
+	ts = append(ts, time.Now())
+	return ts
+}
+
+// unsuppressed proves the index does not over-suppress: these sit
+// between directive-dense functions and must still fire.
+func unsuppressed() (time.Time, time.Time) {
+	a := time.Now() // want `\[nodeterm\] time\.Now reads the wall clock`
+	b := time.Now() // want `time\.Now reads the wall clock`
+	return a, b
+}

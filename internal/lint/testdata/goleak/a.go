@@ -1,0 +1,118 @@
+// Corpus for the goleak analyzer: goroutine spawn sites with no
+// visible completion join, next to the joined lifecycles that must stay
+// clean.
+package goleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+func work(n int) int { return n * 2 }
+
+// ---- firing ----
+
+func nakedSpawn(n int) {
+	go func() { // want `\[goleak\] goroutine has no completion join: no WaitGroup Done, no channel send or close, no ctx\.Done\(\)-bounded wait`
+		work(n)
+	}()
+}
+
+func spawnNamedNoCarrier(n int) {
+	go work(n) // want `go work\(\.\.\.\) passes no WaitGroup, channel, or context; the spawned goroutine cannot signal completion`
+}
+
+// ---- non-firing: join through the body ----
+
+func joinsViaWaitGroup(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work(n)
+	}()
+	wg.Wait()
+}
+
+func joinsViaSend(n int) chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- work(n)
+	}()
+	return out
+}
+
+func joinsViaClose(n int) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work(n)
+		close(done)
+	}()
+	return done
+}
+
+func joinsViaCtx(ctx context.Context, n int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		default:
+			work(n)
+		}
+	}()
+}
+
+// ---- non-firing: join carried through arguments or receiver ----
+
+func worker(results chan int, n int) { results <- work(n) }
+
+func spawnWithChannel(n int) chan int {
+	results := make(chan int, 1)
+	go worker(results, n)
+	return results
+}
+
+func waiter(wg *sync.WaitGroup, n int) {
+	defer wg.Done()
+	work(n)
+}
+
+func spawnWithWaitGroup(n int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go waiter(&wg, n)
+	wg.Wait()
+}
+
+func ctxWorker(ctx context.Context, n int) {
+	if ctx.Err() == nil {
+		work(n)
+	}
+}
+
+func spawnWithCtx(ctx context.Context, n int) {
+	go ctxWorker(ctx, n)
+}
+
+// pipeline is the struct-held-contract idiom: the receiver carries the
+// WaitGroup, so go p.run() is joinable through p.
+type pipeline struct {
+	wg sync.WaitGroup
+	n  int
+}
+
+func (p *pipeline) run() {
+	defer p.wg.Done()
+	work(p.n)
+}
+
+func (p *pipeline) start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func suppressedSpawn(n int) {
+	//lint:ignore goleak corpus case demonstrating an explained suppression
+	go func() {
+		work(n)
+	}()
+}

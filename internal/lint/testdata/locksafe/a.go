@@ -1,0 +1,198 @@
+// Corpus for the locksafe analyzer: unbalanced lock paths, kind
+// mismatches, double unlocks, and blocking while holding a lock, next
+// to the disciplined lifecycles that must stay clean.
+package locksafetest
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var rw sync.RWMutex
+
+type box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+	n     int
+}
+
+// ---- firing ----
+
+func returnWhileHeld(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		return b.n // want `\[locksafe\] return without unlocking b\.mu \(locked at line \d+\)`
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func lockedOnOneBranchOnly(b *box, cond bool) {
+	if cond {
+		b.mu.Lock() // want `b\.mu is locked here but not released on every path`
+	}
+	b.n++
+	b.mu.Unlock()
+}
+
+func fallsOffHeld(b *box) {
+	b.mu.Lock() // want `b\.mu is locked here but not released on every path`
+	b.n++
+}
+
+func blocksWhileHeld(b *box, ch chan int) int {
+	b.mu.Lock()
+	v := <-ch // want `channel receive may block while holding b\.mu \(locked at line \d+\)`
+	b.mu.Unlock()
+	return v
+}
+
+func sleepsWhileHeld(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep may block while holding b\.mu \(locked at line \d+\)`
+	b.mu.Unlock()
+}
+
+func sendsWhileHeld(b *box, ch chan int) {
+	b.mu.Lock()
+	ch <- b.n // want `channel send may block while holding b\.mu \(locked at line \d+\)`
+	b.mu.Unlock()
+}
+
+func selectsWhileHeld(b *box, ch chan int) {
+	b.mu.Lock()
+	select { // want `select with no default may block while holding b\.mu \(locked at line \d+\)`
+	case v := <-ch:
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func nestedAcquire(b *box) {
+	b.mu.Lock()
+	b.other.Lock() // want `acquiring b\.other may block while holding b\.mu \(locked at line \d+\)`
+	b.other.Unlock()
+	b.mu.Unlock()
+}
+
+func doubleUnlockAfterDefer(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.mu.Unlock() // want `unlocking b\.mu which already has a deferred unlock scheduled: the deferred unlock will panic`
+}
+
+func unlockKindMismatch() int {
+	rw.RLock()
+	n := readN()
+	rw.Unlock() // want `unlocking rw with Unlock but it was read-locked at line \d+; use RUnlock`
+	return n
+}
+
+func selfDeadlock(b *box) {
+	b.mu.Lock()
+	b.mu.Lock() // want `acquiring b\.mu while it is already held \(locked at line \d+\): self-deadlock`
+	b.mu.Unlock()
+}
+
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock() // want `mu is locked in the loop body but not released by the end of the iteration`
+	}
+}
+
+// ---- non-firing ----
+
+func readN() int {
+	return 0
+}
+
+func straightLine(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func deferred(b *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 0 {
+		return b.n // deferred unlock discharges the early return
+	}
+	return 0
+}
+
+func readLocked() int {
+	rw.RLock()
+	n := readN()
+	rw.RUnlock()
+	return n
+}
+
+func bothBranchesRelease(b *box, cond bool) {
+	b.mu.Lock()
+	if cond {
+		b.n++
+		b.mu.Unlock()
+	} else {
+		b.mu.Unlock()
+	}
+}
+
+func sequentialSections(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	b.mu.Lock()
+	b.n--
+	b.mu.Unlock()
+}
+
+func deferredClosureUnlock(b *box) {
+	b.mu.Lock()
+	defer func() {
+		b.n = 0
+		b.mu.Unlock()
+	}()
+	b.n++
+}
+
+// unlockCallerHeld is the *Locked-helper shape: releasing a lock this
+// body never acquired is the caller's contract, not a finding.
+func unlockCallerHeld(b *box) {
+	b.n++
+	b.mu.Unlock()
+}
+
+func nonBlockingSelectWhileHeld(b *box, ch chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-ch:
+		b.n = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		mu.Unlock()
+	}
+}
+
+func closureDiscipline(b *box) {
+	fn := func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+	fn()
+}
+
+func suppressedHold(b *box) {
+	//lint:ignore locksafe corpus case demonstrating an explained suppression
+	b.mu.Lock()
+	b.n++
+}
