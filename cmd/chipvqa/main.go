@@ -19,6 +19,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"image/png"
@@ -29,6 +30,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"testing"
 
 	"repro"
@@ -48,12 +50,12 @@ func main() {
 		usage(os.Stderr)
 		os.Exit(2)
 	}
-	// SIGINT cancels the run's context: evaluation commands drain
+	// SIGINT/SIGTERM cancel the run's context: evaluation commands drain
 	// cooperatively and report the consistent partial prefix they have
-	// instead of dying mid-sweep. Once the context is cancelled, stop()
-	// restores default signal handling so a second SIGINT kills the
-	// process immediately.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// instead of dying mid-sweep, and `serve` begins its graceful drain.
+	// Once the context is cancelled, stop() restores default signal
+	// handling so a second signal kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
@@ -92,6 +94,8 @@ func main() {
 		err = cmdBench(ctx, args)
 	case "benchdiff":
 		err = cmdBenchDiff(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
 	case "help", "-h", "--help":
 		usage(os.Stdout)
 	default:
@@ -101,8 +105,33 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chipvqa:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks command-line misuse detected after flag parsing
+// (wrong positional arity, contradictory flags); main exits 2 for it,
+// matching the flag.ExitOnError contract for parse failures.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// usagef builds a usageError.
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// exitCode maps a command's error to the process exit code: 0 success,
+// 1 runtime failure or regression finding, 2 usage error.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 // newFlagSet builds a subcommand FlagSet with the shared contract:
@@ -139,6 +168,8 @@ commands:
   items        per-question difficulty and discrimination analysis (-k, -challenge)
   bench        time the evaluation engine and write a perf snapshot (-o file)
   benchdiff    compare two bench snapshots; non-zero exit on regression (-tol)
+  serve        eval-as-a-service HTTP daemon (-addr, -max-sessions,
+               -workers-per-session, -drain-timeout, -packed file, -accesslog file)
 
 evaluation commands take -workers N: 0 = auto (GOMAXPROCS), 1 = serial.`)
 }
@@ -1172,7 +1203,7 @@ func cmdBenchDiff(_ context.Context, args []string) error {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: chipvqa benchdiff OLD.json NEW.json")
+		return usagef("usage: chipvqa benchdiff OLD.json NEW.json")
 	}
 	oldSnap, oldSchema, err := loadFlatSnapshot(fs.Arg(0))
 	if err != nil {

@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// WorkerPool is a weighted FIFO admission semaphore over a fixed budget
+// of evaluation worker tokens. It is the session-budget seam the serving
+// layer (internal/serve) schedules tenants through: every run asks for
+// its session's worker share before building a Runner, so N concurrent
+// runs never oversubscribe one machine-wide pool, and admission order
+// is strictly first-come-first-served — the head waiter blocks the
+// queue until its full weight is free, so a heavy request is never
+// starved by a stream of light ones arriving behind it.
+//
+// All methods are safe for concurrent use. Token grants are whole: a
+// waiter is granted exactly the count it asked for (clamped to the pool
+// capacity) or nothing.
+type WorkerPool struct {
+	mu    sync.Mutex
+	cap   int
+	free  int
+	queue []*poolWaiter // FIFO; queue[0] is the oldest waiter
+}
+
+// poolWaiter is one queued Acquire. ready is closed exactly once, when
+// the waiter's tokens have been debited from the pool; granted tells a
+// cancelled Acquire whether it must hand tokens back.
+type poolWaiter struct {
+	n       int
+	ready   chan struct{}
+	granted bool
+}
+
+// NewWorkerPool builds a pool of capacity worker tokens; capacity < 1
+// means auto — runtime.GOMAXPROCS(0), matching the Runner convention.
+func NewWorkerPool(capacity int) *WorkerPool {
+	if capacity < 1 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{cap: capacity, free: capacity}
+}
+
+// Cap returns the pool's total token budget.
+func (p *WorkerPool) Cap() int { return p.cap }
+
+// Free returns the tokens not currently granted. It is a snapshot for
+// observability; by the time the caller looks, grants may have moved.
+func (p *WorkerPool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.free
+}
+
+// Queued returns the number of waiters not yet granted.
+func (p *WorkerPool) Queued() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Acquire blocks until n worker tokens are granted (FIFO order) or ctx
+// is done. n is clamped into [1, Cap]. On success it returns the
+// granted count and an idempotent release func the caller must invoke
+// when its run finishes; on cancellation it returns ctx's error and no
+// tokens remain held.
+func (p *WorkerPool) Acquire(ctx context.Context, n int) (int, func(), error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > p.cap {
+		n = p.cap
+	}
+	w := &poolWaiter{n: n, ready: make(chan struct{})}
+	p.mu.Lock()
+	p.queue = append(p.queue, w)
+	granted := p.dispatchLocked()
+	p.mu.Unlock()
+	closeAll(granted)
+	select {
+	case <-w.ready:
+	case <-ctx.Done():
+		p.mu.Lock()
+		if !w.granted {
+			// Still queued: withdraw, then let the new head (which may
+			// now fit) through.
+			for i, q := range p.queue {
+				if q == w {
+					p.queue = append(p.queue[:i], p.queue[i+1:]...)
+					break
+				}
+			}
+			granted := p.dispatchLocked()
+			p.mu.Unlock()
+			closeAll(granted)
+			return 0, nil, ctx.Err()
+		}
+		p.mu.Unlock()
+		// The grant raced the cancellation: the tokens are ours, so hand
+		// them straight back before reporting the cancel.
+		p.release(n)
+		return 0, nil, ctx.Err()
+	}
+	var once sync.Once
+	release := func() { once.Do(func() { p.release(n) }) }
+	return n, release, nil
+}
+
+// release credits n tokens and wakes every newly satisfiable waiter.
+func (p *WorkerPool) release(n int) {
+	p.mu.Lock()
+	p.free += n
+	granted := p.dispatchLocked()
+	p.mu.Unlock()
+	closeAll(granted)
+}
+
+// dispatchLocked grants waiters strictly from the queue head while
+// tokens cover them, returning the ready channels to close once the
+// lock is dropped (channel ops never run under the pool mutex).
+func (p *WorkerPool) dispatchLocked() []chan struct{} {
+	var ready []chan struct{}
+	for len(p.queue) > 0 && p.queue[0].n <= p.free {
+		w := p.queue[0]
+		p.queue = p.queue[1:]
+		p.free -= w.n
+		w.granted = true
+		ready = append(ready, w.ready)
+	}
+	return ready
+}
+
+// closeAll signals a batch of grants.
+func closeAll(chs []chan struct{}) {
+	for _, ch := range chs {
+		close(ch)
+	}
+}

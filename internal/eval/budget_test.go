@@ -1,0 +1,237 @@
+package eval
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mustAcquire acquires synchronously and fails the test if it would
+// block longer than the deadline.
+func mustAcquire(t *testing.T, p *WorkerPool, n int) (int, func()) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, release, err := p.Acquire(ctx, n)
+	if err != nil {
+		t.Fatalf("Acquire(%d): %v", n, err)
+	}
+	return got, release
+}
+
+func TestWorkerPoolClamping(t *testing.T) {
+	p := NewWorkerPool(4)
+	if p.Cap() != 4 || p.Free() != 4 {
+		t.Fatalf("new pool cap/free = %d/%d, want 4/4", p.Cap(), p.Free())
+	}
+
+	got, release := mustAcquire(t, p, 99) // above cap → whole pool
+	if got != 4 || p.Free() != 0 {
+		t.Fatalf("over-cap acquire granted %d (free %d), want 4 (0)", got, p.Free())
+	}
+	release()
+	release() // idempotent: double release must not over-credit
+	if p.Free() != 4 {
+		t.Fatalf("free after double release = %d, want 4", p.Free())
+	}
+
+	got, release = mustAcquire(t, p, 0) // below min → 1
+	if got != 1 || p.Free() != 3 {
+		t.Fatalf("zero acquire granted %d (free %d), want 1 (3)", got, p.Free())
+	}
+	release()
+
+	auto := NewWorkerPool(0)
+	if auto.Cap() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto pool cap = %d, want GOMAXPROCS %d", auto.Cap(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestWorkerPoolFIFOHeadBlocks pins the no-starvation property: a
+// heavy waiter at the queue head is served before lighter waiters that
+// arrived after it, even when the light ones would fit immediately.
+func TestWorkerPoolFIFOHeadBlocks(t *testing.T) {
+	p := NewWorkerPool(4)
+	_, releaseThree := mustAcquire(t, p, 3)
+	_, releaseOne := mustAcquire(t, p, 1)
+
+	type grant struct {
+		who string
+		n   int
+	}
+	grants := make(chan grant, 4)
+	acquire := func(who string, n int) {
+		got, release, err := p.Acquire(context.Background(), n)
+		if err != nil {
+			grants <- grant{who: who + "-err", n: 0}
+			return
+		}
+		grants <- grant{who: who, n: got}
+		_ = release // held for the test's duration
+	}
+	go acquire("heavy", 3)
+	for p.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go acquire("light", 1)
+	for p.Queued() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Free exactly three tokens: only the head (heavy, 3) fits — light
+	// must stay queued even though one token would have covered it had
+	// it been allowed to jump the queue.
+	releaseThree()
+	first := <-grants
+	if first.who != "heavy" || first.n != 3 {
+		t.Fatalf("first grant went to %s(%d), want heavy(3)", first.who, first.n)
+	}
+	if p.Queued() != 1 {
+		t.Fatalf("light jumped the queue: %d waiters left, want 1", p.Queued())
+	}
+	releaseOne()
+	second := <-grants
+	if second.who != "light" || second.n != 1 {
+		t.Fatalf("second grant went to %s(%d), want light(1)", second.who, second.n)
+	}
+	if p.Free() != 0 || p.Queued() != 0 {
+		t.Fatalf("pool free/queued = %d/%d, want 0/0", p.Free(), p.Queued())
+	}
+}
+
+// TestWorkerPoolPartialFreeKeepsHeadBlocking frees tokens one at a
+// time: the light waiter behind a too-heavy head must keep waiting
+// until the head is satisfied.
+func TestWorkerPoolPartialFreeKeepsHeadBlocking(t *testing.T) {
+	p := NewWorkerPool(4)
+	var holds []func()
+	for i := 0; i < 4; i++ {
+		_, release := mustAcquire(t, p, 1)
+		holds = append(holds, release)
+	}
+
+	grants := make(chan string, 2)
+	go func() {
+		_, _, err := p.Acquire(context.Background(), 3)
+		if err == nil {
+			grants <- "heavy"
+		}
+	}()
+	for p.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		_, _, err := p.Acquire(context.Background(), 1)
+		if err == nil {
+			grants <- "light"
+		}
+	}()
+	for p.Queued() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	holds[0]() // one token free: fits light, but heavy holds the head
+	select {
+	case who := <-grants:
+		t.Fatalf("%s granted past a blocked head", who)
+	case <-time.After(50 * time.Millisecond):
+	}
+	holds[1]()
+	holds[2]() // three free: the head goes through
+	if who := <-grants; who != "heavy" {
+		t.Fatalf("first grant %s, want heavy", who)
+	}
+	holds[3]() // fourth token: now light fits
+	if who := <-grants; who != "light" {
+		t.Fatalf("second grant %s, want light", who)
+	}
+}
+
+// TestWorkerPoolCancelWithdraws cancels a queued head waiter and
+// asserts the queue moves on: the waiter behind it is dispatched and
+// no tokens leak.
+func TestWorkerPoolCancelWithdraws(t *testing.T) {
+	p := NewWorkerPool(2)
+	_, releaseAll := mustAcquire(t, p, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, _, err := p.Acquire(ctx, 2)
+		headErr <- err
+	}()
+	for p.Queued() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	granted := make(chan func(), 1)
+	go func() {
+		_, release, err := p.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- release
+	}()
+	for p.Queued() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-headErr; err != context.Canceled {
+		t.Fatalf("cancelled head returned %v, want context.Canceled", err)
+	}
+	// Withdrawal alone doesn't free tokens (none were held) but it must
+	// unblock the successor once capacity returns.
+	releaseAll()
+	release := <-granted
+	if p.Free() != 1 || p.Queued() != 0 {
+		t.Fatalf("free/queued after cancel = %d/%d, want 1/0", p.Free(), p.Queued())
+	}
+	release()
+	if p.Free() != 2 {
+		t.Fatalf("free = %d, want 2", p.Free())
+	}
+}
+
+// TestWorkerPoolStress hammers the pool from many goroutines with
+// mixed weights and random cancels; the invariant under -race is that
+// every grant is returned and the pool ends whole.
+func TestWorkerPoolStress(t *testing.T) {
+	const (
+		capTokens = 5
+		workers   = 16
+		rounds    = 200
+	)
+	p := NewWorkerPool(capTokens)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		weight := g%capTokens + 1
+		cancelEvery := g%3 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if cancelEvery && i%7 == 0 {
+					ctx, cancel = context.WithCancel(ctx)
+					cancel() // pre-cancelled: exercises the withdraw path
+				}
+				got, release, err := p.Acquire(ctx, weight)
+				cancel()
+				if err != nil {
+					continue
+				}
+				if got != weight {
+					t.Errorf("granted %d, want %d", got, weight)
+				}
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Free() != capTokens || p.Queued() != 0 {
+		t.Fatalf("pool ends free/queued = %d/%d, want %d/0", p.Free(), p.Queued(), capTokens)
+	}
+}

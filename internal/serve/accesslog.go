@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// JSON-lines access log. Each completed request emits one record via a
+// single Write call, so any writer whose Write is atomic per call (an
+// os.File, a locked buffer) yields well-formed lines under concurrency.
+// Timestamps come from the clock seam in clock.go and are the only
+// wall-clock data the server ever emits.
+
+// logRecord is one access-log line.
+type logRecord struct {
+	Time   string  `json:"time"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Query  string  `json:"query,omitempty"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	DurMS  float64 `json:"dur_ms"`
+	Remote string  `json:"remote,omitempty"`
+}
+
+// statusWriter captures the status code and body size while passing
+// Flush through so streaming handlers keep working under the logger.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logged wraps h with the access-log middleware.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		rec := logRecord{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Query:  r.URL.RawQuery,
+			Status: sw.status,
+			Bytes:  sw.bytes,
+			DurMS:  float64(now().Sub(start).Microseconds()) / 1000,
+			Remote: r.RemoteAddr,
+		}
+		if rec.Status == 0 {
+			rec.Status = http.StatusOK
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return
+		}
+		_, _ = s.accessLog.Write(append(line, '\n'))
+	})
+}

@@ -1,0 +1,14 @@
+// clock.go is the serve package's single wall-clock seam. The nodeterm
+// analyzer (internal/lint) forbids time.Now everywhere except
+// internal/rng and files named clock.go, so the access log's timestamps
+// and request durations route through the injectable `now` below: tests
+// pin it to a fixed instant and the rest of the package stays
+// clock-free by construction. Timestamps are observability-only — run
+// events and reports never contain them, so the served byte streams
+// stay deterministic for a fixed (spec, seed).
+package serve
+
+import "time"
+
+// now is the injectable wall clock; only the access log reads it.
+var now = time.Now

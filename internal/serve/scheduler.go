@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/eval"
+)
+
+// errTooManySessions rejects a run whose session would push the server
+// past its concurrent-tenant cap.
+var errTooManySessions = errors.New("serve: too many concurrent sessions")
+
+// scheduler is the multi-tenant admission layer over one shared
+// eval.WorkerPool. A session is any client-chosen string; the scheduler
+// caps how many distinct sessions hold or await workers at once
+// (-max-sessions) and clamps each run's grant to the per-session share
+// (-workers-per-session). Fairness across admitted sessions comes from
+// the pool's weighted FIFO queue: requests are served strictly in
+// arrival order and the head is never starved by lighter requests
+// behind it.
+type scheduler struct {
+	pool       *eval.WorkerPool
+	perSession int
+
+	mu          sync.Mutex
+	maxSessions int
+	active      map[string]int // session → runs admitted (incl. queued)
+}
+
+// newScheduler builds the admission layer. pool must be non-nil;
+// maxSessions < 1 defaults to 16; perSession < 1 defaults to an equal
+// split of the pool across the session cap (minimum 1).
+func newScheduler(pool *eval.WorkerPool, maxSessions, perSession int) *scheduler {
+	if maxSessions < 1 {
+		maxSessions = 16
+	}
+	if perSession < 1 {
+		perSession = pool.Cap() / maxSessions
+		if perSession < 1 {
+			perSession = 1
+		}
+	}
+	return &scheduler{
+		pool:        pool,
+		perSession:  perSession,
+		maxSessions: maxSessions,
+		active:      make(map[string]int),
+	}
+}
+
+// enter admits a run into its session, or refuses when the session is
+// new and the tenant cap is reached. The returned leave func is
+// idempotent and must be called when the run ends.
+func (sc *scheduler) enter(session string) (func(), error) {
+	sc.mu.Lock()
+	if sc.active[session] == 0 && len(sc.active) >= sc.maxSessions {
+		sc.mu.Unlock()
+		return nil, errTooManySessions
+	}
+	sc.active[session]++
+	sc.mu.Unlock()
+	var once sync.Once
+	return func() { once.Do(func() { sc.exit(session) }) }, nil
+}
+
+// exit drops one run from a session's admission count.
+func (sc *scheduler) exit(session string) {
+	sc.mu.Lock()
+	if sc.active[session] > 1 {
+		sc.active[session]--
+	} else {
+		delete(sc.active, session)
+	}
+	sc.mu.Unlock()
+}
+
+// acquire blocks for the run's worker grant. want < 1 asks for the full
+// per-session share; any request is clamped to that share so one tenant
+// cannot monopolise the pool.
+func (sc *scheduler) acquire(ctx context.Context, want int) (int, func(), error) {
+	if want < 1 || want > sc.perSession {
+		want = sc.perSession
+	}
+	return sc.pool.Acquire(ctx, want)
+}
+
+// sessions is the current number of distinct admitted sessions.
+func (sc *scheduler) sessions() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.active)
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// streamFormat selects the live event encoding.
+type streamFormat int
+
+const (
+	formatNDJSON streamFormat = iota // one JSON object per line
+	formatSSE                        // text/event-stream frames
+)
+
+// RunSummary is the terminal record closing every event stream: the
+// NDJSON line with "done":true, or the SSE "done" event.
+type RunSummary struct {
+	Done    bool            `json:"done"`
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Events  int             `json:"events"`
+	Reports []ReportSummary `json:"reports,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// ReportSummary is one model's aggregate in a RunSummary.
+type ReportSummary struct {
+	Model   string  `json:"model"`
+	Pass1   float64 `json:"pass1"`
+	Results int     `json:"results"`
+}
+
+// summary snapshots the terminal record for a run.
+func (r *run) summary() RunSummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RunSummary{
+		Done:   true,
+		ID:     r.id,
+		State:  r.state.String(),
+		Events: len(r.events),
+		Error:  r.failure,
+	}
+	for _, rep := range r.reports {
+		out.Reports = append(out.Reports, ReportSummary{
+			Model:   rep.ModelName,
+			Pass1:   rep.Pass1(),
+			Results: len(rep.Results),
+		})
+	}
+	return out
+}
+
+// acceptsSSE reports whether the request prefers text/event-stream.
+func acceptsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// streamRun replays a run's event log from index `from` and follows it
+// live, flushing after every batch, until the run reaches a terminal
+// state (then a summary record closes the stream) or ctx is done
+// (client disconnect — for request-scoped runs the registry keeps the
+// deterministic prefix). Events are byte-identical across subscribers
+// because the log is append-only and the encoding is positional-free
+// canonical JSON.
+func streamRun(ctx context.Context, w http.ResponseWriter, rn *run, f streamFormat, from int) {
+	h := w.Header()
+	if f == formatSSE {
+		h.Set("Content-Type", "text/event-stream")
+	} else {
+		h.Set("Content-Type", "application/x-ndjson")
+	}
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush() // commit headers so the client sees the stream open
+	idx := from
+	for {
+		events, state, changed := rn.snapshot(idx)
+		for _, ev := range events {
+			if err := writeStreamEvent(w, f, ev); err != nil {
+				return
+			}
+			idx++
+		}
+		if len(events) > 0 {
+			flush()
+		}
+		if state.terminal() {
+			if err := writeStreamSummary(w, f, rn.summary()); err != nil {
+				return
+			}
+			flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeStreamEvent encodes one event in the chosen format.
+func writeStreamEvent(w http.ResponseWriter, f streamFormat, ev RunEvent) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, f, "result", body)
+}
+
+// writeStreamSummary encodes the terminal record.
+func writeStreamSummary(w http.ResponseWriter, f streamFormat, sum RunSummary) error {
+	body, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, f, "done", body)
+}
+
+// writeFrame emits one NDJSON line or SSE frame.
+func writeFrame(w http.ResponseWriter, f streamFormat, event string, body []byte) error {
+	if f == formatNDJSON {
+		if _, err := w.Write(body); err != nil {
+			return err
+		}
+		_, err := w.Write([]byte{'\n'})
+		return err
+	}
+	if _, err := w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte("\n\n"))
+	return err
+}

@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// offlineReports runs the same evaluation the server would, directly
+// through the engine — the reference for every byte-identity check.
+func offlineReports(t *testing.T, modelNames []string, workers int) []*eval.Report {
+	t.Helper()
+	b, models := fixture(t)
+	picked := make([]eval.Model, 0, len(modelNames))
+	for _, name := range modelNames {
+		for _, m := range models {
+			if m.Name() == name {
+				picked = append(picked, m)
+			}
+		}
+	}
+	if len(picked) != len(modelNames) {
+		t.Fatalf("models %v not all in zoo", modelNames)
+	}
+	r := eval.Runner{Workers: workers}
+	reports, err := r.EvaluateAllContext(context.Background(), picked, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports
+}
+
+// collectStream POSTs a streaming run and returns the raw event lines
+// (NDJSON) or frames (SSE) plus the terminal summary.
+func collectNDJSON(t *testing.T, ts *httptest.Server, spec string) ([]string, RunSummary) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("streaming POST = %d (%s)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	var sum RunSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil || !sum.Done {
+		t.Fatalf("last line %q is not a summary (err %v)", lines[len(lines)-1], err)
+	}
+	return lines[:len(lines)-1], sum
+}
+
+// reconstructReportBytes rebuilds the canonical report body from a
+// run's streamed events — the client-side half of the byte-identity
+// contract.
+func reconstructReportBytes(t *testing.T, modelOrder []string, eventLines []string) []byte {
+	t.Helper()
+	byModel := make(map[string]*ReportDoc, len(modelOrder))
+	docs := make([]ReportDoc, len(modelOrder))
+	for i, name := range modelOrder {
+		docs[i] = ReportDoc{Model: name, Results: []ResultDoc{}}
+		byModel[name] = &docs[i]
+	}
+	for i, line := range eventLines {
+		var ev RunEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.Seq != i {
+			t.Fatalf("event %d carries seq %d — stream out of order", i, ev.Seq)
+		}
+		doc, ok := byModel[ev.Model]
+		if !ok {
+			t.Fatalf("event %d names unknown model %q", i, ev.Model)
+		}
+		doc.Results = append(doc.Results, ResultDoc{
+			QuestionID: ev.QuestionID,
+			Category:   ev.Category,
+			Response:   ev.Response,
+			Correct:    ev.Correct,
+		})
+	}
+	for i := range docs {
+		correct := 0
+		for _, r := range docs[i].Results {
+			if r.Correct {
+				correct++
+			}
+		}
+		if n := len(docs[i].Results); n > 0 {
+			docs[i].Pass1 = float64(correct) / float64(n)
+		}
+	}
+	body, err := json.Marshal(reportsEnvelope{Reports: docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(body, '\n')
+}
+
+// fetchReport GETs a run's canonical report body.
+func fetchReport(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET report = %d (%s)", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServeStreamByteIdentity is the tentpole determinism check: for a
+// fixed (models, collection), the NDJSON event stream reassembled
+// client-side AND the /report body are byte-identical to the offline
+// EvaluateAllContext report marshalled through the same canonical
+// encoding — the §6/§7 invariant extended across the wire.
+func TestServeStreamByteIdentity(t *testing.T) {
+	modelNames := []string{"GPT4o", "LLaVA-7b"}
+	want, err := MarshalReports(offlineReports(t, modelNames, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, testConfig(t))
+	events, sum := collectNDJSON(t, ts,
+		`{"models":["GPT4o","LLaVA-7b"],"workers":2,"session":"identity","stream":"ndjson"}`)
+
+	if got := reconstructReportBytes(t, modelNames, events); !bytes.Equal(got, want) {
+		t.Errorf("report reconstructed from the event stream differs from the offline report\nstream: %s\noffline: %s", got, want)
+	}
+	if sum.State != "done" {
+		t.Fatalf("summary state %s (%s)", sum.State, sum.Error)
+	}
+	if got := fetchReport(t, ts, sum.ID); !bytes.Equal(got, want) {
+		t.Errorf("/report body differs from the offline report")
+	}
+
+	// A second identical run streams identical bytes, and the /events
+	// replay of the first run matches them line for line.
+	events2, _ := collectNDJSON(t, ts,
+		`{"models":["GPT4o","LLaVA-7b"],"workers":2,"session":"identity","stream":"ndjson"}`)
+	if strings.Join(events, "\n") != strings.Join(events2, "\n") {
+		t.Error("two identical runs streamed different events")
+	}
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sum.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayLines := strings.Split(strings.TrimSuffix(string(replay), "\n"), "\n")
+	if got := strings.Join(replayLines[:len(replayLines)-1], "\n"); got != strings.Join(events, "\n") {
+		t.Error("late /events replay differs from the live stream")
+	}
+
+	// Worker count is invisible on the wire: a serial run of the same
+	// spec produces the identical stream.
+	serial, _ := collectNDJSON(t, ts,
+		`{"models":["GPT4o","LLaVA-7b"],"workers":1,"session":"identity-serial","stream":"ndjson"}`)
+	if strings.Join(events, "\n") != strings.Join(serial, "\n") {
+		t.Error("workers=1 and workers=2 streamed different events")
+	}
+}
+
+// TestServeStreamSSE checks the SSE framing carries the same payloads
+// as NDJSON: event frames in order, then one done frame.
+func TestServeStreamSSE(t *testing.T) {
+	_, ts := startServer(t, testConfig(t))
+	ndjson, _ := collectNDJSON(t, ts, `{"models":["GPT4o"],"session":"sse-ref","stream":"ndjson"}`)
+
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"models":["GPT4o"],"session":"sse","stream":"sse"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE POST = %d (%s)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	frames := strings.Split(strings.TrimSuffix(string(body), "\n\n"), "\n\n")
+	if len(frames) != len(ndjson)+1 {
+		t.Fatalf("%d SSE frames, want %d events + 1 done", len(frames), len(ndjson))
+	}
+	for i, frame := range frames {
+		lines := strings.SplitN(frame, "\n", 2)
+		if len(lines) != 2 || !strings.HasPrefix(lines[1], "data: ") {
+			t.Fatalf("frame %d malformed: %q", i, frame)
+		}
+		data := strings.TrimPrefix(lines[1], "data: ")
+		if i < len(ndjson) {
+			if lines[0] != "event: result" {
+				t.Fatalf("frame %d type %q, want result", i, lines[0])
+			}
+			if data != ndjson[i] {
+				t.Errorf("frame %d payload differs from NDJSON:\nsse:    %s\nndjson: %s", i, data, ndjson[i])
+			}
+		} else {
+			if lines[0] != "event: done" {
+				t.Fatalf("final frame type %q, want done", lines[0])
+			}
+			var sum RunSummary
+			if err := json.Unmarshal([]byte(data), &sum); err != nil || !sum.Done || sum.State != "done" {
+				t.Fatalf("bad done frame %q (err %v)", data, err)
+			}
+		}
+	}
+
+	// Accept-header negotiation picks SSE on the replay endpoint.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/runs/r0001/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Accept negotiation served %q", ct)
+	}
+}
+
+// TestServeStreamExtended streams an extended-fold run and checks the
+// event stream against the offline shard evaluation, including the
+// ?from= replay window.
+func TestServeStreamExtended(t *testing.T) {
+	_, models := fixture(t)
+	var gpt eval.Model
+	for _, m := range models {
+		if m.Name() == "GPT4o" {
+			gpt = m
+		}
+	}
+	r := eval.Runner{Workers: 2}
+	offline := []*eval.Report{{}}
+	if err := r.EvaluateShardsContext(context.Background(), []eval.Model{gpt},
+		func(yield func(sh dataset.Shard) error) error {
+			return core.StreamExtended("serve-ext", 3, 4, yield)
+		}, offline); err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalReports(offline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startServer(t, testConfig(t))
+	events, sum := collectNDJSON(t, ts,
+		`{"kind":"extended","seed":"serve-ext","per_category":3,"shard_size":4,"models":["GPT4o"],"workers":2,"session":"ext","stream":"ndjson"}`)
+	if got := reconstructReportBytes(t, []string{"GPT4o"}, events); !bytes.Equal(got, want) {
+		t.Errorf("extended stream differs from offline shard evaluation")
+	}
+	if got := fetchReport(t, ts, sum.ID); !bytes.Equal(got, want) {
+		t.Errorf("extended /report differs from offline shard evaluation")
+	}
+
+	// ?from= replays a suffix only.
+	resp, err := http.Get(ts.URL + "/v1/runs/" + sum.ID + "/events?from=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) != len(events)-10+1 {
+		t.Fatalf("from=10 replayed %d lines, want %d", len(lines), len(events)-10+1)
+	}
+	if lines[0] != events[10] {
+		t.Errorf("from=10 starts with %q, want %q", lines[0], events[10])
+	}
+	resp, err = http.Get(ts.URL + "/v1/runs/" + sum.ID + "/events?from=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("from=-1 = %d, want 400", resp.StatusCode)
+	}
+}

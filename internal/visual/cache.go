@@ -1,7 +1,9 @@
 package visual
 
 import (
+	"bytes"
 	"image"
+	"image/png"
 	"sync"
 )
 
@@ -67,6 +69,7 @@ const (
 	artRender    artifactKind = iota // *image.RGBA
 	artLosses                        // []float64
 	artCriticals                     // []Element
+	artPNG                           // pngResult
 )
 
 type cacheKey struct {
@@ -193,6 +196,36 @@ func (c *SceneCache) acquireImage(s *Scene, factor int, compute func() *image.RG
 	var once sync.Once
 	release := func() { once.Do(func() { c.releaseRef(e) }) }
 	return e.val.(*image.RGBA), release
+}
+
+// pngResult is the cached value of an artPNG entry: the encoded bytes
+// or the (deterministic) encoding error.
+type pngResult struct {
+	data []byte
+	err  error
+}
+
+// EncodedPNG returns the scene rendered at the given downsample factor
+// and encoded as PNG, memoized per (scene, factor). The HTTP image
+// endpoint of internal/serve hits this once per (scene, factor) and
+// then serves warm requests from one shared byte slice; callers must
+// treat the slice as read-only. The encoder reads pixels through a
+// pinned AcquireDownsampled handle, so under a byte budget the source
+// render stays recyclable: once the PNG bytes exist the raw pixels can
+// be evicted and pooled while the (much smaller) encoding stays hot.
+func (c *SceneCache) EncodedPNG(s *Scene, factor int) ([]byte, error) {
+	e := c.get(cacheKey{s, factor, artPNG}, false, func() (any, int64) {
+		img, release := c.AcquireDownsampled(s, factor)
+		var buf bytes.Buffer
+		err := png.Encode(&buf, img)
+		release()
+		if err != nil {
+			return pngResult{err: err}, entryOverhead
+		}
+		return pngResult{data: buf.Bytes()}, int64(buf.Len()) + entryOverhead
+	})
+	pr := e.val.(pngResult)
+	return pr.data, pr.err
 }
 
 // CriticalLosses returns LegibilityLoss(factor, e.Salience) for every
@@ -399,3 +432,6 @@ func CachedCriticalLosses(s *Scene, factor int) []float64 { return Default.Criti
 // CachedCriticals returns the scene's critical elements via the Default
 // cache.
 func CachedCriticals(s *Scene) []Element { return Default.Criticals(s) }
+
+// CachedPNG returns the scene's encoded PNG via the Default cache.
+func CachedPNG(s *Scene, factor int) ([]byte, error) { return Default.EncodedPNG(s, factor) }
