@@ -88,6 +88,8 @@ func main() {
 		err = cmdCompare(ctx, args)
 	case "items":
 		err = cmdItems(ctx, args)
+	case "adaptive":
+		err = cmdAdaptive(ctx, args)
 	case "finetune":
 		err = cmdFineTune(ctx, args)
 	case "bench":
@@ -165,7 +167,11 @@ commands:
   pack         write an extended fold in the compact binary format (-seed, -n, -o, -check)
   compare      paired McNemar test + bootstrap CIs between two models (-a, -b)
   finetune     domain-adaptation learning-curve study (-model)
-  items        per-question difficulty and discrimination analysis (-k, -challenge)
+  items        per-question difficulty and discrimination analysis (-k, -challenge,
+               -json for the machine-readable chipvqa-items/1 document)
+  adaptive     IRT adaptive evaluation over an extended fold: calibrate a 2PL item
+               bank from the full grid, then early-stopping tournament
+               (-seed, -n, -budget, -runseed)
   bench        time the evaluation engine and write a perf snapshot (-o file)
   benchdiff    compare two bench snapshots; non-zero exit on regression (-tol)
   serve        eval-as-a-service HTTP daemon (-addr, -max-sessions,
@@ -735,6 +741,7 @@ func cmdItems(ctx context.Context, args []string) error {
 	fs := newFlagSet("items")
 	k := fs.Int("k", 10, "how many hardest items to list")
 	challenge := fs.Bool("challenge", false, "analyse the challenge collection instead")
+	asJSON := fs.Bool("json", false, "emit the machine-readable chipvqa-items/1 document instead of text")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -744,8 +751,10 @@ func cmdItems(ctx context.Context, args []string) error {
 		return err
 	}
 	bench := suite.Benchmark
+	collection := "standard"
 	if *challenge {
 		bench = suite.ChallengeSet
+		collection = "challenge"
 	}
 	r := eval.Runner{Workers: *workers}
 	if *workers == 0 {
@@ -769,7 +778,104 @@ func cmdItems(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		return writeItemsJSON(os.Stdout, collection, len(models), items)
+	}
 	fmt.Print(eval.FormatItemReport(items, *k))
+	return nil
+}
+
+// itemsDocument is the machine-readable form of the item analysis. The
+// schema is versioned like the bench snapshots, items are sorted by
+// QuestionID and solver lists alphabetically, so the document is
+// byte-stable across runs and worker counts.
+type itemsDocument struct {
+	Schema     string       `json:"schema"`
+	Collection string       `json:"collection"`
+	Models     int          `json:"models"`
+	Items      []itemRecord `json:"items"`
+}
+
+type itemRecord struct {
+	QuestionID     string   `json:"question_id"`
+	Category       string   `json:"category"`
+	Difficulty     float64  `json:"difficulty"`
+	Discrimination float64  `json:"discrimination"`
+	CorrectModels  []string `json:"correct_models"`
+}
+
+func writeItemsJSON(w io.Writer, collection string, nModels int, items []eval.ItemStats) error {
+	doc := itemsDocument{
+		Schema:     "chipvqa-items/1",
+		Collection: collection,
+		Models:     nModels,
+		Items:      make([]itemRecord, 0, len(items)),
+	}
+	for _, it := range items {
+		solvers := append([]string(nil), it.CorrectModels...)
+		sort.Strings(solvers)
+		if solvers == nil {
+			solvers = []string{} // unsolved items serialise as [], not null
+		}
+		doc.Items = append(doc.Items, itemRecord{
+			QuestionID:     it.QuestionID,
+			Category:       it.Category.String(),
+			Difficulty:     it.Difficulty,
+			Discrimination: it.Discrimination,
+			CorrectModels:  solvers,
+		})
+	}
+	sort.Slice(doc.Items, func(i, j int) bool {
+		return doc.Items[i].QuestionID < doc.Items[j].QuestionID
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func cmdAdaptive(ctx context.Context, args []string) error {
+	fs := newFlagSet("adaptive")
+	seed := fs.String("seed", "fold-j", "extended-fold seed to calibrate and tournament against")
+	n := fs.Int("n", 30, "questions per category in the extended fold")
+	budget := fs.Int("budget", 0, "total question budget across all models (0 = a third of the full grid)")
+	runSeed := fs.String("runseed", "", "tournament tie-break seed (default \"adaptive\")")
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		return err
+	}
+	suite.Workers = *workers
+	cfg := chipvqa.AdaptiveConfig{Seed: *runSeed, TotalBudget: *budget}
+	res, runErr := suite.AdaptiveContext(ctx, *seed, *n, cfg)
+	if runErr != nil && res == nil {
+		return runErr
+	}
+	fmt.Printf("ADAPTIVE  IRT tournament over extended fold %q (%d models, %d-question bank)\n",
+		*seed, len(res.Standings), res.GridQuestions/max(len(res.Standings), 1))
+	standings := append([]chipvqa.AdaptiveStanding(nil), res.Standings...)
+	sort.Slice(standings, func(i, j int) bool {
+		if standings[i].Ability != standings[j].Ability {
+			return standings[i].Ability > standings[j].Ability
+		}
+		return standings[i].Model < standings[j].Model
+	})
+	fmt.Printf("%-20s %8s %6s %6s  %s\n", "Model", "ability", "se", "asked", "stop")
+	for _, s := range standings {
+		fmt.Printf("%-20s %8.3f %6.3f %6d  %s\n", s.Model, s.Ability, s.SE, s.Asked, s.StopReason)
+	}
+	fmt.Printf("questions asked %d / %d full grid (%.1f%%)\n",
+		res.QuestionsAsked, res.GridQuestions,
+		100*float64(res.QuestionsAsked)/float64(max(res.GridQuestions, 1)))
+	if res.RankAgreement == res.RankAgreement { // not NaN
+		fmt.Printf("rank agreement vs full-grid Pass@1: %.3f\n", res.RankAgreement)
+	}
+	if runErr != nil {
+		fmt.Println("(run interrupted — standings cover the recorded prefix only)")
+		return runErr
+	}
 	return nil
 }
 
@@ -786,7 +892,10 @@ func cmdItems(ctx context.Context, args []string) error {
 // section of DESIGN.md §13: binary-pack encode/decode times at 10k
 // questions, the cold-load-vs-regeneration speedup, streaming-eval
 // throughput at 10k and 100k questions, and the scene-cache byte
-// pressure of the budgeted streaming run.
+// pressure of the budgeted streaming run. Schema v5 adds the adaptive
+// section of DESIGN.md §15: the IRT tournament's question count
+// against the full grid and its rank agreement with the full-grid
+// ranking — benchdiff fails on any rank-agreement decrease.
 type benchSnapshot struct {
 	Schema     string `json:"schema"`
 	Date       string `json:"date"`
@@ -864,6 +973,15 @@ type benchSnapshot struct {
 	StreamCacheBudget    int64   `json:"stream_cache_budget_bytes"`
 	StreamCachePeakBytes int64   `json:"stream_cache_peak_bytes"`
 	StreamCacheEvictions uint64  `json:"stream_cache_evictions"`
+
+	// Adaptive section (schema v5): the acceptance-fold IRT tournament.
+	// adaptive_rank_agreement compares the adaptive ability ranking to
+	// the full-grid Pass@1 ranking (1.0 = every strict pair reproduced)
+	// and is quality-gated by benchdiff: any decrease fails the diff.
+	AdaptiveQuestionsAsked    int     `json:"adaptive_questions_asked"`
+	AdaptiveFullGridQuestions int     `json:"adaptive_full_grid_questions"`
+	AdaptiveRankAgreement     float64 `json:"adaptive_rank_agreement"`
+	AdaptiveNs                int64   `json:"adaptive_ns"`
 }
 
 // gridPoint is one worker-count sample of the sharded grid sweep.
@@ -1104,8 +1222,20 @@ func cmdBench(ctx context.Context, args []string) error {
 		return err
 	}
 
+	// Adaptive section (schema v5): the acceptance-fold tournament —
+	// calibrate on the fold's full grid, then tournament the zoo with a
+	// third of the grid's question budget. The timing covers both halves.
+	fmt.Println("timing adaptive IRT tournament (acceptance fold)...")
+	suite.Workers = -1
+	start = now()
+	adp, err := suite.AdaptiveContext(ctx, "fold-j", 30, chipvqa.AdaptiveConfig{Seed: "acceptance"})
+	if err != nil {
+		return err
+	}
+	adaptiveNs := now().Sub(start).Nanoseconds()
+
 	snap := benchSnapshot{
-		Schema:                      "chipvqa-bench/4",
+		Schema:                      "chipvqa-bench/5",
 		Date:                        snapshotDate(),
 		GoMaxProcs:                  runtime.GOMAXPROCS(0),
 		NumCPU:                      runtime.NumCPU(),
@@ -1140,6 +1270,10 @@ func cmdBench(ctx context.Context, args []string) error {
 		StreamCacheBudget:           streamBudget,
 		StreamCachePeakBytes:        streamCache.PeakBytes,
 		StreamCacheEvictions:        streamCache.Evictions,
+		AdaptiveQuestionsAsked:      adp.QuestionsAsked,
+		AdaptiveFullGridQuestions:   adp.GridQuestions,
+		AdaptiveRankAgreement:       adp.RankAgreement,
+		AdaptiveNs:                  adaptiveNs,
 	}
 	if parallel.NsPerOp() > 0 {
 		snap.TableIISpeedup = float64(serial.NsPerOp()) / float64(parallel.NsPerOp())
@@ -1179,15 +1313,19 @@ func cmdBench(ctx context.Context, args []string) error {
 	fmt.Printf("stream eval: %.0f q/s at 10k, %.0f q/s at 100k (cache peak %d of %d budget, %d evictions)\n",
 		snap.StreamEval10kQPS, snap.StreamEval100kQPS,
 		snap.StreamCachePeakBytes, snap.StreamCacheBudget, snap.StreamCacheEvictions)
+	fmt.Printf("adaptive: %d of %d questions (%.1f%%), rank agreement %.3f, %.0f ms total\n",
+		snap.AdaptiveQuestionsAsked, snap.AdaptiveFullGridQuestions,
+		100*float64(snap.AdaptiveQuestionsAsked)/float64(max(snap.AdaptiveFullGridQuestions, 1)),
+		snap.AdaptiveRankAgreement, float64(snap.AdaptiveNs)/1e6)
 	fmt.Printf("wrote %s\n", *out)
 	return nil
 }
 
 // cmdBenchDiff compares two bench snapshots field by field:
 // `chipvqa benchdiff OLD.json NEW.json`. A regression — any
-// *_ns_per_op growing more than 20%, or any *_allocs_per_op growing at
-// all — makes the command fail, which is what lets scripts/benchdiff.sh
-// gate on it. Fields present in only one snapshot (schema evolution)
+// *_ns_per_op growing more than 20%, any *_allocs_per_op growing at
+// all, or any *rank_agreement decreasing at all — makes the command
+// fail, which is what lets scripts/benchdiff.sh gate on it. Fields present in only one snapshot (schema evolution)
 // are reported informationally and never fail the diff, so snapshots
 // with different schema versions diff on their shared fields. When the
 // two snapshots were taken on machines with different num_cpu, timing
@@ -1257,6 +1395,16 @@ func cmdBenchDiff(_ context.Context, args []string) error {
 				regressions = append(regressions, fmt.Sprintf("%s: %g -> %g allocs/op", k, ov, nv))
 			}
 			fmt.Printf("  %-40s %12g -> %12g allocs/op %s\n", k, ov, nv, status)
+		case strings.HasSuffix(k, "rank_agreement"):
+			// Quality gate, not a timing: the adaptive ranking must keep
+			// reproducing the full-grid ranking. Any decrease fails,
+			// machine-independently.
+			status := "ok"
+			if nv < ov {
+				status = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s: %g -> %g", k, ov, nv))
+			}
+			fmt.Printf("  %-40s %12g -> %12g %s\n", k, ov, nv, status)
 		}
 	}
 	newKeys := make([]string, 0)

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
+
+	"repro"
+	"repro/internal/eval"
 )
 
 // The command functions print to stdout; these tests only assert they
@@ -204,6 +210,85 @@ func TestCmdItems(t *testing.T) {
 	if err := cmdItems(context.Background(), []string{"-challenge", "-k", "3"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdItems(context.Background(), []string{"-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestItemsJSONByteStable: the chipvqa-items/1 document is byte-identical
+// across worker counts, sorted by question ID, and never serialises a
+// solver list as null.
+func TestItemsJSONByteStable(t *testing.T) {
+	suite, err := chipvqa.NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models []chipvqa.Model
+	for _, name := range suite.ModelNames() {
+		m, err := suite.Model(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	var docs [][]byte
+	for _, workers := range []int{1, 8} {
+		r := eval.Runner{Workers: workers}
+		reports, err := r.EvaluateAllContext(context.Background(), models, suite.Benchmark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, err := eval.ItemAnalysis(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := writeItemsJSON(&buf, "standard", len(models), items); err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, buf.Bytes())
+	}
+	if !bytes.Equal(docs[0], docs[1]) {
+		t.Fatal("items JSON differs between workers=1 and workers=8")
+	}
+	var doc itemsDocument
+	if err := json.Unmarshal(docs[0], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != "chipvqa-items/1" {
+		t.Fatalf("schema %q", doc.Schema)
+	}
+	if doc.Models != len(models) || len(doc.Items) != suite.Benchmark.Len() {
+		t.Fatalf("models %d items %d, want %d and %d", doc.Models, len(doc.Items), len(models), suite.Benchmark.Len())
+	}
+	ids := make([]string, len(doc.Items))
+	for i, it := range doc.Items {
+		ids[i] = it.QuestionID
+		if it.CorrectModels == nil {
+			t.Fatalf("item %s: correct_models decoded as nil (serialised null?)", it.QuestionID)
+		}
+		if !sort.StringsAreSorted(it.CorrectModels) {
+			t.Fatalf("item %s: solvers %v not sorted", it.QuestionID, it.CorrectModels)
+		}
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatal("items not sorted by question_id")
+	}
+	if bytes.Contains(docs[0], []byte("null")) {
+		t.Fatal("document contains a JSON null")
+	}
+}
+
+func TestCmdAdaptive(t *testing.T) {
+	if err := cmdAdaptive(context.Background(), []string{"-seed", "cli-test", "-n", "4", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled run reports the prefix and returns the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cmdAdaptive(ctx, []string{"-seed", "cli-test", "-n", "4"}); err == nil {
+		t.Error("cancelled adaptive run returned nil error")
+	}
 }
 
 func TestCmdBenchDiff(t *testing.T) {
@@ -245,6 +330,16 @@ func TestCmdBenchDiff(t *testing.T) {
 	allocNew := write("alloc-new.json", `{"judge_all_ns_per_op": 100, "judge_all_allocs_per_op": 3}`)
 	if err := cmdBenchDiff(context.Background(), []string{allocOld, allocNew}); err == nil {
 		t.Error("allocs/op increase not rejected")
+	}
+	// Any rank-agreement decrease is a regression (quality gate, schema
+	// v5); an increase or equality passes.
+	rankOld := write("rank-old.json", `{"adaptive_rank_agreement": 1.0, "adaptive_questions_asked": 600}`)
+	rankBad := write("rank-bad.json", `{"adaptive_rank_agreement": 0.95, "adaptive_questions_asked": 500}`)
+	if err := cmdBenchDiff(context.Background(), []string{rankOld, rankBad}); err == nil {
+		t.Error("rank_agreement decrease not rejected")
+	}
+	if err := cmdBenchDiff(context.Background(), []string{rankOld, rankOld}); err != nil {
+		t.Errorf("flat rank_agreement rejected: %v", err)
 	}
 	if err := cmdBenchDiff(context.Background(), []string{old}); err == nil {
 		t.Error("missing operand accepted")

@@ -1,0 +1,116 @@
+package adaptive
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// Calibration bundles a fold with its calibrated 2PL item bank and the
+// full-grid reference reports that produced it. Building one costs a
+// complete (cohort x fold) grid evaluation — the expensive step a
+// deployment pays once per fold and then amortises across every
+// adaptive tournament run against the bank (the serve layer memoises
+// exactly this object per fold).
+type Calibration struct {
+	Fold *dataset.Benchmark
+	Bank []BankItem
+	// Reference holds the calibration cohort's full-grid reports in
+	// cohort order — the Table II-style ranking adaptive runs are
+	// measured against.
+	Reference []*eval.Report
+
+	refPass1 map[string]float64
+}
+
+// NewCalibration evaluates the cohort over the whole fold, runs the
+// classical item analysis, and maps it into a calibrated item bank.
+func NewCalibration(ctx context.Context, r eval.Runner, cohort []eval.Model, fold *dataset.Benchmark) (*Calibration, error) {
+	if len(cohort) == 0 {
+		return nil, fmt.Errorf("adaptive: empty calibration cohort")
+	}
+	reports, err := r.EvaluateAllContext(ctx, cohort, fold)
+	if err != nil {
+		return nil, err
+	}
+	items, err := eval.ItemAnalysis(reports)
+	if err != nil {
+		return nil, err
+	}
+	bank, err := Bank(fold, Calibrate(items))
+	if err != nil {
+		return nil, err
+	}
+	c := &Calibration{
+		Fold:      fold,
+		Bank:      bank,
+		Reference: reports,
+		refPass1:  make(map[string]float64, len(reports)),
+	}
+	for _, rep := range reports {
+		c.refPass1[rep.ModelName] = rep.Pass1()
+	}
+	return c, nil
+}
+
+// ReferenceScore returns the cohort's full-grid Pass@1 for the named
+// model, and whether the model was part of the calibration cohort.
+func (c *Calibration) ReferenceScore(name string) (float64, bool) {
+	v, ok := c.refPass1[name]
+	return v, ok
+}
+
+// Result is one adaptive tournament's outcome over a calibrated bank.
+type Result struct {
+	// Reports hold each model's adaptive transcript (the questions it
+	// was actually asked, in asked order), in tournament model order.
+	Reports []*eval.Report
+	// Standings carry the final ability estimate, question count and
+	// stop reason per model, in the same order.
+	Standings []Standing
+	// QuestionsAsked is the total issued across all models;
+	// GridQuestions is what the full grid would have cost.
+	QuestionsAsked int
+	GridQuestions  int
+	// RankAgreement compares the adaptive ability ranking against the
+	// calibration cohort's full-grid Pass@1 ranking over the
+	// tournament's models (1.0 = every strictly ordered reference pair
+	// reproduced). NaN when a tournament model was not in the cohort.
+	RankAgreement float64
+}
+
+// Run executes one adaptive tournament over the calibrated bank. On
+// cancellation it returns the context error alongside a Result built
+// from the deterministic delivered prefix — the same partial-report
+// contract as the static pipeline.
+func (c *Calibration) Run(ctx context.Context, r eval.Runner, models []eval.Model, cfg Config) (*Result, error) {
+	trn, err := NewTournament(models, c.Bank, cfg)
+	if err != nil {
+		return nil, err
+	}
+	reports, runErr := r.EvaluateAdaptiveContext(ctx, models, trn)
+	res := &Result{
+		Reports:        reports,
+		Standings:      trn.Standings(),
+		QuestionsAsked: trn.QuestionsAsked(),
+		GridQuestions:  len(models) * len(c.Fold.Questions),
+		RankAgreement:  math.NaN(),
+	}
+	ref := make([]float64, len(models))
+	known := true
+	for i, m := range models {
+		v, ok := c.ReferenceScore(m.Name())
+		if !ok {
+			known = false
+			break
+		}
+		ref[i] = v
+	}
+	if known {
+		res.RankAgreement = RankAgreement(ref, trn.Abilities())
+	}
+	return res, runErr
+}

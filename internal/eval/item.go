@@ -103,14 +103,20 @@ func pointBiserial(item, totals []float64, meanTotal, sdTotal float64) float64 {
 	return cov / (pSD * sdTotal)
 }
 
-// HardestItems returns the k items fewest models solved, hardest first
-// (ties by ID for determinism).
+// HardestItems returns the k items fewest models solved, hardest first.
+// Equal difficulties order by ascending discrimination (among equally
+// hard items, the ones that least separate capability rank first), and
+// the final tie-break is QuestionID, so the listing is a total order
+// that never depends on input position.
 func HardestItems(items []ItemStats, k int) []ItemStats {
 	sorted := make([]ItemStats, len(items))
 	copy(sorted, items)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].Difficulty != sorted[j].Difficulty {
 			return sorted[i].Difficulty < sorted[j].Difficulty
+		}
+		if sorted[i].Discrimination != sorted[j].Discrimination {
+			return sorted[i].Discrimination < sorted[j].Discrimination
 		}
 		return sorted[i].QuestionID < sorted[j].QuestionID
 	})

@@ -105,6 +105,35 @@ func TestHardestItems(t *testing.T) {
 	}
 }
 
+// TestHardestItemsTieBreaks pins the full sort key: difficulty, then
+// discrimination, then QuestionID — so items tied on both statistics
+// still list in a deterministic, position-independent order.
+func TestHardestItemsTieBreaks(t *testing.T) {
+	items := []ItemStats{
+		{QuestionID: "q-c", Difficulty: 0.25, Discrimination: 0.5},
+		{QuestionID: "q-a", Difficulty: 0.25, Discrimination: 0.5},
+		{QuestionID: "q-b", Difficulty: 0.25, Discrimination: 0.5},
+		{QuestionID: "q-sharp", Difficulty: 0.25, Discrimination: 0.9},
+		{QuestionID: "q-easy", Difficulty: 0.75, Discrimination: 0.1},
+		{QuestionID: "q-hard", Difficulty: 0.10, Discrimination: 0.9},
+	}
+	want := []string{"q-hard", "q-a", "q-b", "q-c", "q-sharp", "q-easy"}
+	got := HardestItems(items, len(items))
+	for i, it := range got {
+		if it.QuestionID != want[i] {
+			t.Fatalf("position %d: %s, want %s (full order %v)", i, it.QuestionID, want[i], got)
+		}
+	}
+	// The order is a pure function of the stats: a permuted input gives
+	// the identical listing.
+	perm := []ItemStats{items[4], items[0], items[5], items[2], items[1], items[3]}
+	for i, it := range HardestItems(perm, len(perm)) {
+		if it.QuestionID != want[i] {
+			t.Fatalf("permuted input: position %d is %s, want %s", i, it.QuestionID, want[i])
+		}
+	}
+}
+
 func TestDifficultySpreadAndFormat(t *testing.T) {
 	items, err := ItemAnalysis(itemReports())
 	if err != nil {

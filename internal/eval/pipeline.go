@@ -35,6 +35,16 @@ type Event struct {
 	// observability-only: reports never contain it, so runs stay
 	// byte-identical regardless of wall-clock behaviour.
 	At time.Time
+	// Adaptive marks events annotated by an adaptive ItemScheduler:
+	// Ability/AbilitySE carry the model's posterior ability estimate
+	// after this outcome, and StopReason is non-empty on the model's
+	// final event ("separated", "precise", "budget", "exhausted").
+	// Static sources leave all four zero; reports never contain them,
+	// so the byte-identity guarantees are untouched.
+	Adaptive   bool
+	Ability    float64
+	AbilitySE  float64
+	StopReason string
 	// scratch is the executing worker's judge Scratch, set by Run for the
 	// Infer/Judge stages and cleared before delivery. It is owned by
 	// exactly one worker goroutine (poolown discipline) and must never
@@ -42,8 +52,12 @@ type Event struct {
 	scratch *Scratch
 }
 
-// Source yields the run's evaluation tasks in canonical order. Event(i)
-// must be a pure function of i so any worker may materialise any task.
+// Source yields a statically known task list in canonical order.
+// Event(i) must be a pure function of i so any worker may materialise
+// any task. A Source is the degenerate, feedback-free case of the
+// ItemScheduler seam (scheduler.go): the pipeline wraps it in a trivial
+// scheduler and the resulting run is byte-identical to the pre-seam
+// indexed loop.
 type Source interface {
 	Len() int
 	Event(i int) Event
@@ -83,26 +97,36 @@ func (f ObserverFunc) Observe(ev Event) { f(ev) }
 
 // Pipeline wires the four stages plus the optional observer. Workers
 // has the Runner.EffectiveWorkers convention already applied: <= 1
-// runs serially, larger values size the pool.
+// runs serially, larger values size the pool. Exactly one of Scheduler
+// and Source drives the run; when both are set, Scheduler wins.
 type Pipeline struct {
-	Source   Source
-	Infer    Inference
-	Judge    JudgeStage
-	Sink     Sink
-	Observer Observer
-	Workers  int
+	// Scheduler is the dynamic task source (scheduler.go). Nil means
+	// wrap Source in the trivial static scheduler.
+	Scheduler ItemScheduler
+	Source    Source
+	Infer     Inference
+	Judge     JudgeStage
+	Sink      Sink
+	Observer  Observer
+	Workers   int
 	// Clock stamps Event.At at delivery; nil uses the package clock
 	// seam (clock.go). Tests pin it for reproducible timestamps.
 	Clock func() time.Time
 }
 
-// Run executes the pipeline until the source drains or ctx is
+// Run executes the pipeline until the scheduler drains or ctx is
 // cancelled, returning ctx.Err(). Workers pull tasks cooperatively:
 // cancellation is checked between questions (a question in flight
 // finishes), and the in-order delivery gate re-checks the context
 // before every emit, so after cancel the sink holds a consistent
 // prefix of the canonical order — a graceful partial report — and
 // every delivered result is byte-identical to the full run's.
+//
+// Judged outcomes feed back into the scheduler from inside the reorder
+// buffer, strictly in Seq order, before the sink sees them — the
+// Judge→Scheduler back-edge that makes adaptive runs deterministic: the
+// scheduler's state evolves along the canonical event order no matter
+// how many workers race ahead of it.
 func (p *Pipeline) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -111,36 +135,74 @@ func (p *Pipeline) Run(ctx context.Context) error {
 	if clock == nil {
 		clock = now
 	}
+	sched := p.Scheduler
+	if sched == nil {
+		sched = newSourceScheduler(p.Source)
+	}
+	gate := newSchedGate()
 	d := &delivery{
 		pending: make(map[int]Event),
 		sink:    p.Sink,
 		obs:     p.Observer,
 		clock:   clock,
+		sched:   sched,
+		gate:    gate,
 	}
-	// One Scratch per worker slot, checked out for the whole run: each
-	// slot belongs to exactly one goroutine (forEachWorker), so the
-	// buffers are reused across every event that worker judges without
-	// locking or per-event pool traffic.
-	n := p.Source.Len()
 	nw := p.Workers
-	if nw > n {
-		nw = n
+	if s, ok := sched.(schedulerSize); ok && nw > s.SizeHint() {
+		nw = s.SizeHint()
 	}
 	if nw < 1 {
 		nw = 1
 	}
+	// One Scratch per worker slot, checked out for the whole run: each
+	// slot belongs to exactly one goroutine, so the buffers are reused
+	// across every event that worker judges without locking or
+	// per-event pool traffic.
 	scratches := make([]*Scratch, nw)
 	for i := range scratches {
 		scratches[i] = getScratch()
 	}
-	forEachWorker(ctx, p.Workers, n, func(w, i int) {
-		ev := p.Source.Event(i)
-		ev.scratch = scratches[w]
-		p.Infer.Infer(ctx, &ev)
-		p.Judge.Judge(ctx, &ev)
-		ev.scratch = nil
-		d.deliver(ctx, ev)
-	})
+	work := func(w int) {
+		for ctx.Err() == nil {
+			ev, st := sched.Next()
+			if st == ScheduleWait {
+				// Arm the gate, then re-check: a Record between the
+				// first Next and arm would otherwise be a missed
+				// wake-up. The static path never reaches here.
+				wake := gate.arm()
+				ev, st = sched.Next()
+				if st == ScheduleWait {
+					select {
+					case <-wake:
+					case <-ctx.Done():
+					}
+					continue
+				}
+			}
+			if st == ScheduleDone {
+				return
+			}
+			ev.scratch = scratches[w]
+			p.Infer.Infer(ctx, &ev)
+			p.Judge.Judge(ctx, &ev)
+			ev.scratch = nil
+			d.deliver(ctx, ev)
+		}
+	}
+	if nw == 1 {
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				work(w)
+			}()
+		}
+		wg.Wait()
+	}
 	for _, sc := range scratches {
 		putScratch(sc)
 	}
@@ -160,11 +222,17 @@ type delivery struct {
 	sink    Sink
 	obs     Observer
 	clock   func() time.Time
+	sched   ItemScheduler
+	gate    *schedGate
 }
 
 func (d *delivery) deliver(ctx context.Context, ev Event) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Workers parked on ScheduleWait re-poll after every delivery
+	// attempt: Record below may have issued new work, and on
+	// cancellation the pulse is harmless (waiters also watch ctx).
+	defer d.gate.pulse()
 	if d.stopped {
 		return
 	}
@@ -184,6 +252,10 @@ func (d *delivery) deliver(ctx context.Context, ev Event) {
 		}
 		delete(d.pending, d.next)
 		d.next++
+		// The scheduler hears the judged outcome first — in canonical
+		// Seq order — and may annotate the event (ability, stop reason)
+		// before the sink and observer see it.
+		d.sched.Record(&nxt)
 		nxt.At = d.clock()
 		if d.sink != nil {
 			d.sink.Consume(nxt)

@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the pull-based successor of the static Source seam: an
+// ItemScheduler hands the pipeline its next task on demand and hears
+// every judged outcome back, which is what lets a scheduler *react* —
+// an adaptive run picks its next question from the verdicts so far,
+// something a Len()/Event(i) grid can never express. Static sources
+// remain first-class citizens: newSourceScheduler wraps any Source into
+// a trivial scheduler whose behaviour (and therefore whose reports) is
+// byte-identical to the pre-seam pipeline.
+
+// ScheduleState is an ItemScheduler's answer to Next.
+type ScheduleState int
+
+const (
+	// ScheduleReady: the returned event is valid and must be evaluated.
+	ScheduleReady ScheduleState = iota
+	// ScheduleWait: no event is available right now, but outcomes are
+	// still outstanding and recording them may unblock more work. Only
+	// legal while at least one issued event has not been recorded —
+	// otherwise nothing can ever wake the pipeline again.
+	ScheduleWait
+	// ScheduleDone: the run is complete; no further events will be
+	// issued. Must be sticky: once returned, every later Next must
+	// return it too.
+	ScheduleDone
+)
+
+// ItemScheduler is the pipeline's dynamic source seam.
+//
+// Next may be called concurrently from every worker; implementations
+// guard their own state. Events must be issued with consecutive Seq
+// values starting at 0, in the order Next hands them out — the reorder
+// buffer delivers strictly in Seq order, so a gap would wedge the run.
+//
+// Record receives each judged event exactly once, strictly in Seq
+// order, from one goroutine at a time, *before* the sink and observer
+// see it; a scheduler may annotate the event in place (ability
+// estimates, stop reasons) and the annotations travel to the sink,
+// observer, and any serving layer on top. Because Record order is the
+// canonical delivery order, a scheduler whose decisions are pure
+// functions of the outcomes it has recorded is deterministic for any
+// worker count — the §6/§7 invariant extended to dynamic sources.
+type ItemScheduler interface {
+	Next() (Event, ScheduleState)
+	Record(ev *Event)
+}
+
+// schedulerSize is an optional ItemScheduler extension bounding useful
+// parallelism (a static source's length, an adaptive tournament's
+// model count); the pipeline clamps its worker pool to it.
+type schedulerSize interface {
+	SizeHint() int
+}
+
+// sourceScheduler adapts a static Source to the ItemScheduler seam: an
+// atomic claim counter hands out Event(i) exactly as the pre-seam
+// worker loop did, Record is a no-op, and Wait never occurs.
+type sourceScheduler struct {
+	src  Source
+	n    int
+	next atomic.Int64
+}
+
+func newSourceScheduler(src Source) *sourceScheduler {
+	return &sourceScheduler{src: src, n: src.Len()}
+}
+
+func (s *sourceScheduler) Next() (Event, ScheduleState) {
+	i := int(s.next.Add(1)) - 1
+	if i >= s.n {
+		return Event{}, ScheduleDone
+	}
+	return s.src.Event(i), ScheduleReady
+}
+
+func (s *sourceScheduler) Record(*Event) {}
+
+func (s *sourceScheduler) SizeHint() int { return s.n }
+
+// schedGate wakes workers parked on ScheduleWait. A worker arms the
+// gate only after a first Next returned Wait (so the static path never
+// touches it), re-checks the scheduler, and then blocks on the armed
+// channel; the delivery path pulses the gate after recording outcomes,
+// which closes the channel only when someone is (or may be) waiting —
+// the channel is replaced lazily, so a run that never waits never
+// allocates here.
+type schedGate struct {
+	mu    sync.Mutex
+	ch    chan struct{}
+	armed bool
+}
+
+func newSchedGate() *schedGate {
+	return &schedGate{ch: make(chan struct{})}
+}
+
+// arm returns the channel the next pulse will close.
+func (g *schedGate) arm() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.armed = true
+	return g.ch
+}
+
+// pulse wakes every armed waiter; a no-op when nobody armed since the
+// last pulse.
+func (g *schedGate) pulse() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.armed {
+		return
+	}
+	close(g.ch)
+	g.ch = make(chan struct{})
+	g.armed = false
+}

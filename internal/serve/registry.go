@@ -76,6 +76,14 @@ type RunEvent struct {
 	Type       string `json:"type"`
 	Response   string `json:"response"`
 	Correct    bool   `json:"correct"`
+	// Adaptive runs annotate every event with the model's posterior
+	// ability estimate after this outcome, and the model's final event
+	// carries its stop reason. Pointer fields keep static-run streams
+	// byte-identical to earlier schema versions (the keys are absent,
+	// not zero).
+	Ability    *float64 `json:"ability,omitempty"`
+	AbilitySE  *float64 `json:"ability_se,omitempty"`
+	StopReason string   `json:"stop_reason,omitempty"`
 }
 
 // appendEvent records the next in-order event and wakes subscribers.

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
@@ -20,7 +21,9 @@ type RunSpec struct {
 	// Kind selects the run flavour: "eval" (default) evaluates a named
 	// collection, "challenge" is sugar for eval over the challenge
 	// collection, "extended" generates a seeded extended fold and
-	// evaluates it shard-by-shard.
+	// evaluates it shard-by-shard, "adaptive" calibrates a 2PL item
+	// bank over a seeded extended fold (cached per fold) and runs an
+	// IRT tournament with early stopping against it.
 	Kind string `json:"kind,omitempty"`
 	// Collection names the question set for eval runs ("" = standard).
 	Collection string `json:"collection,omitempty"`
@@ -136,6 +139,22 @@ func (s *Server) normalizeSpec(spec *RunSpec) error {
 		if spec.ShardSize < 1 || spec.ShardSize > 4096 {
 			return fmt.Errorf("shard_size %d outside [1, 4096]", spec.ShardSize)
 		}
+	case "adaptive":
+		if spec.Collection != "" {
+			return fmt.Errorf("adaptive runs generate their own fold; collection must be empty")
+		}
+		if spec.ShardSize != 0 {
+			return fmt.Errorf("adaptive runs pull one item at a time; shard_size must be empty")
+		}
+		if spec.Seed == "" {
+			spec.Seed = "fold-a"
+		}
+		if spec.PerCategory == 0 {
+			spec.PerCategory = 10
+		}
+		if spec.PerCategory < 1 || spec.PerCategory > 2000 {
+			return fmt.Errorf("per_category %d outside [1, 2000]", spec.PerCategory)
+		}
 	default:
 		return fmt.Errorf("unknown run kind %q", spec.Kind)
 	}
@@ -237,6 +256,19 @@ func (s *Server) runEval(r *run) ([]*eval.Report, error) {
 		Observer: s.observerFor(r),
 	}
 	models := s.modelsFor(r.spec)
+	if r.spec.Kind == "adaptive" {
+		cal, err := s.calibration(r.spec.Seed, r.spec.PerCategory, workers)
+		if err != nil {
+			return nil, err
+		}
+		// The tournament tie-break seed is the fold seed, so a fixed
+		// spec fully determines the transcript (bit-reproducible).
+		res, runErr := cal.Run(r.ctx, runner, models, adaptive.Config{Seed: r.spec.Seed})
+		if res == nil {
+			return nil, runErr
+		}
+		return res.Reports, runErr
+	}
 	if r.spec.Kind == "extended" {
 		reports := make([]*eval.Report, len(models))
 		for i := range reports {
@@ -275,14 +307,20 @@ func (s *Server) observerFor(r *run) eval.Observer {
 			gate(r.ctx, r.id, r.eventCount())
 		}
 		q := ev.Question
-		r.appendEvent(RunEvent{
+		re := RunEvent{
 			Model:      ev.Model.Name(),
 			QuestionID: q.ID,
 			Category:   q.Category.Short(),
 			Type:       q.Type.String(),
 			Response:   ev.Response,
 			Correct:    ev.Correct,
-		})
+		}
+		if ev.Adaptive {
+			ability, se := ev.Ability, ev.AbilitySE
+			re.Ability, re.AbilitySE = &ability, &se
+			re.StopReason = ev.StopReason
+		}
+		r.appendEvent(re)
 	})
 }
 
@@ -328,14 +366,36 @@ func (s *Server) handleRunLaunch(w http.ResponseWriter, r *http.Request) {
 	streamRun(r.Context(), w, rn, f, 0)
 }
 
-// handleRunList is GET /v1/runs.
+// handleRunList is GET /v1/runs: every run in creation order (the
+// canonical listing order). ?state= and ?kind= filter; unknown filter
+// values are a 400, not an empty listing, so typos fail loudly.
 func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
-	runs := s.reg.list()
+	state := r.URL.Query().Get("state")
+	switch state {
+	case "", "queued", "running", "done", "cancelled", "failed":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown state filter %q", state)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	switch kind {
+	case "", "eval", "extended", "adaptive":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown kind filter %q", kind)
+		return
+	}
 	out := struct {
 		Runs []RunStatus `json:"runs"`
-	}{Runs: make([]RunStatus, len(runs))}
-	for i, rn := range runs {
-		out.Runs[i] = rn.status()
+	}{Runs: []RunStatus{}}
+	for _, rn := range s.reg.list() {
+		st := rn.status()
+		if state != "" && st.State != state {
+			continue
+		}
+		if kind != "" && st.Kind != kind {
+			continue
+		}
+		out.Runs = append(out.Runs, st)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

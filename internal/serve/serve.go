@@ -20,7 +20,7 @@
 //	GET    /v1/questions/{id}               one question, full prompt
 //	GET    /v1/questions/{id}/image.png     rendered visual (PNG)
 //	POST   /v1/runs                         launch run (optionally streaming)
-//	GET    /v1/runs                         list runs
+//	GET    /v1/runs                         list runs (?state=, ?kind= filters)
 //	GET    /v1/runs/{id}                    run status
 //	GET    /v1/runs/{id}/events             event stream (NDJSON or SSE)
 //	GET    /v1/runs/{id}/report             final (or prefix) report
@@ -32,7 +32,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
+	"repro/internal/adaptive"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/visual"
@@ -101,6 +104,60 @@ type Server struct {
 	// by the run observer before each event is appended — a test seam
 	// for deterministic mid-stream disconnects.
 	eventGate func(ctx context.Context, runID string, seq int)
+
+	// calMu guards cals, the per-fold adaptive calibration cache. A
+	// calibration costs a full (zoo x fold) grid evaluation, so it is
+	// built once per (seed, per_category) and shared by every adaptive
+	// run against that fold. Entries are only stored on success.
+	calMu sync.Mutex
+	cals  map[string]*calEntry
+}
+
+// calEntry serialises calibration builds for one fold key: the first
+// run against an uncalibrated fold registers the entry and builds, and
+// concurrent runs wait on ready instead of each paying the reference
+// grid. cal/err are written exactly once, before ready closes.
+type calEntry struct {
+	ready chan struct{}
+	cal   *adaptive.Calibration
+	err   error
+}
+
+// calibration returns the cached calibration for (seed, perCategory),
+// building it on first use. The build runs under the server's base
+// context — not the requesting run's — so a client disconnect cannot
+// strand a half-priced grid; the finished bank is cached for everyone.
+// The grid is expensive, so it runs outside every lock: calMu only
+// covers the entry-claim, and failed builds are deregistered so a later
+// run retries (waiters raced into the failed build share its error).
+func (s *Server) calibration(seed string, perCategory, workers int) (*adaptive.Calibration, error) {
+	key := fmt.Sprintf("%s\x00%d", seed, perCategory)
+	s.calMu.Lock()
+	e, ok := s.cals[key]
+	if !ok {
+		e = &calEntry{ready: make(chan struct{})}
+		s.cals[key] = e
+	}
+	s.calMu.Unlock()
+	if ok {
+		<-e.ready
+		return e.cal, e.err
+	}
+	// The calibration grid is reference material, not part of any run's
+	// event stream: no observer, full-resolution images.
+	fold, err := core.BuildExtended(seed, perCategory)
+	if err == nil {
+		e.cal, e.err = adaptive.NewCalibration(s.base, eval.Runner{Workers: workers}, s.models, fold)
+	} else {
+		e.err = err
+	}
+	if e.err != nil {
+		s.calMu.Lock()
+		delete(s.cals, key)
+		s.calMu.Unlock()
+	}
+	close(e.ready)
+	return e.cal, e.err
 }
 
 // New validates cfg and builds a Server.
@@ -127,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		reg:         newRegistry(),
 		base:        ctx,
 		accessLog:   cfg.AccessLog,
+		cals:        make(map[string]*calEntry),
 	}
 	add := func(name string, b *dataset.Benchmark) error {
 		if _, dup := s.byName[name]; dup {

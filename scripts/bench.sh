@@ -25,6 +25,10 @@ trap 'rm -f "$SMOKE"' EXIT
 go run ./cmd/chipvqa pack -seed smoke -n 2000 -shard 512 -o "$SMOKE" -check
 go run ./cmd/chipvqa extended -packed "$SMOKE" -eval -stream \
     -downsample 8 -cachebudget 1048576 > /dev/null
+# Smoke one adaptive evaluation end to end (calibration grid + IRT
+# tournament) so the snapshot's adaptive section never records a run
+# that the CLI path itself cannot complete.
+go run ./cmd/chipvqa adaptive -seed smoke -n 4 > /dev/null
 go run ./cmd/chipvqa bench -o "BENCH_${N}.json"
 # Post-run report: diff against the previous snapshot when one exists.
 # Informational only — single-shot snapshot noise should not fail a
